@@ -1,0 +1,18 @@
+"""Shared benchmark plumbing.
+
+Every bench wraps one harness driver: pytest-benchmark times the full
+experiment (one round — these are workload reproductions, not
+micro-benchmarks) and the formatted series the paper plots is printed to
+the captured output (`pytest benchmarks/ --benchmark-only -s` to see it).
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run an experiment driver exactly once under the benchmark timer."""
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+    return runner

@@ -1,0 +1,42 @@
+"""Ablation — Canon's condition (b) pointer pruning (Section 4.1).
+
+"Condition (b) thus limits the number of external pointers … the
+expected total number of pointers (both internal and external) is
+O(log(n))."  This bench measures how much per-ID successor state the
+pruning (plus redundant-lookup elimination) saves relative to storing a
+pointer at every joined level."""
+
+from repro.inter.network import InterDomainNetwork
+from repro.inter.policy import JoinStrategy
+from repro.topology.asgraph import synthetic_as_graph
+
+
+def run_ablation():
+    graph = synthetic_as_graph(n_ases=100, seed=0)
+    net = InterDomainNetwork(graph, n_fingers=0, seed=0,
+                             strategy=JoinStrategy.MULTIHOMED)
+    net.join_random_hosts(500)
+    levels = sum(len(vn.joined_levels) for vn in net.hosts.values())
+    stored = sum(len(vn.succ_by_level) for vn in net.hosts.values())
+    join_msgs = net.stats.operation_costs("join")
+    return {
+        "joined_levels": levels,
+        "stored_pointers": stored,
+        "savings": 1 - stored / levels,
+        "mean_join": sum(join_msgs) / len(join_msgs),
+    }
+
+
+def test_ablation_condition_b(run_once):
+    out = run_once(run_ablation)
+    print("\nAblation — condition (b) pruning")
+    print("joined levels {} → stored successor pointers {} "
+          "({:.0%} state saved); mean join {:.1f} msgs".format(
+              out["joined_levels"], out["stored_pointers"],
+              out["savings"], out["mean_join"]))
+    assert out["stored_pointers"] < out["joined_levels"]
+    # The absolute saving grows with hierarchy depth and ring density
+    # (toward the paper's O(log n) bound); at this synthetic scale the
+    # hierarchy is ~4 levels deep, so a >10% cut already demonstrates the
+    # mechanism.
+    assert out["savings"] > 0.1

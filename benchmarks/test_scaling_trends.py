@@ -1,0 +1,75 @@
+"""§6.1/6.3 — scaling trends.
+
+"Our simulations were not able to scale up to 600 million hosts.
+Instead, we ran simulations for smaller numbers of hosts … and present
+scaling trends from our evaluation."  This bench sweeps the population
+and checks the trends the paper's extrapolations rest on:
+
+* interdomain join overhead grows sub-linearly (≈ log) in the number of
+  IDs (lookup path lengths are O(log n); setups and fingers are flat);
+* interdomain stretch does not grow with population ("we found that
+  stretch decreased slightly as the number of IDs in the system
+  increased" — driven by the uneven host distribution);
+* intradomain per-join cost stays flat in the host count (it scales
+  with the *diameter*, not the population).
+"""
+
+from repro.inter.network import InterDomainNetwork
+from repro.inter.policy import JoinStrategy
+from repro.intra.network import IntraDomainNetwork
+from repro.topology.asgraph import synthetic_as_graph
+from repro.topology.isp import synthetic_isp
+
+POPULATIONS = (100, 300, 900)
+
+
+def run_experiment():
+    inter_rows = []
+    for n_hosts in POPULATIONS:
+        asg = synthetic_as_graph(n_ases=100, seed=0)
+        net = InterDomainNetwork(asg, n_fingers=8, seed=0,
+                                 strategy=JoinStrategy.MULTIHOMED)
+        receipts = net.join_random_hosts(n_hosts)
+        window = max(1, n_hosts // 5)
+        tail_join = sum(r.messages for r in receipts[-window:]) / window
+        stretches = []
+        for _ in range(200):
+            a, b = net.random_host_pair()
+            result = net.send(a, b)
+            if result.delivered and result.optimal_hops > 0:
+                stretches.append(result.stretch)
+        inter_rows.append({"ids": n_hosts, "tail_join": tail_join,
+                           "stretch": sum(stretches) / len(stretches)})
+
+    intra_rows = []
+    for n_hosts in POPULATIONS:
+        topo = synthetic_isp(n_routers=67, seed=0, name="AS3967")
+        net = IntraDomainNetwork(topo, seed=0)
+        net.join_random_hosts(n_hosts)
+        costs = net.stats.operation_costs("join")
+        window = max(1, n_hosts // 5)
+        intra_rows.append({"ids": n_hosts,
+                           "tail_join": sum(costs[-window:]) / window})
+    return {"inter": inter_rows, "intra": intra_rows}
+
+
+def test_scaling_trends(run_once):
+    out = run_once(run_experiment)
+    print("\nScaling trends (populations {})".format(POPULATIONS))
+    print("interdomain: " + "; ".join(
+        "{ids} IDs → join {tail_join:.1f} msgs, stretch {stretch:.2f}"
+        .format(**row) for row in out["inter"]))
+    print("intradomain: " + "; ".join(
+        "{ids} IDs → join {tail_join:.1f} msgs".format(**row)
+        for row in out["intra"]))
+
+    inter = out["inter"]
+    # Sub-linear join growth: 9x the population costs well under 9x msgs.
+    growth = inter[-1]["tail_join"] / inter[0]["tail_join"]
+    assert growth < 3.0
+    # Stretch does not blow up with population (paper: slightly down).
+    assert inter[-1]["stretch"] < inter[0]["stretch"] * 1.3
+
+    intra = out["intra"]
+    flat = intra[-1]["tail_join"] / intra[0]["tail_join"]
+    assert flat < 2.0  # diameter-bound, not population-bound

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+The canonical metadata lives in pyproject.toml; this file lets
+``pip install -e .`` fall back to the legacy setuptools editable path
+when PEP 660 wheel building is unavailable (offline machines).
+"""
+
+from setuptools import setup
+
+setup()

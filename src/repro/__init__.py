@@ -1,0 +1,66 @@
+"""ROFL: Routing on Flat Labels — a full reproduction of the SIGCOMM 2006 paper.
+
+The package is organised by substrate (see DESIGN.md):
+
+* :mod:`repro.idspace` — the flat 128-bit circular identifier namespace and
+  self-certifying identities.
+* :mod:`repro.util` — bloom filters, sorted ring maps and RNG helpers.
+* :mod:`repro.sim` — a discrete-event simulation kernel and statistics.
+* :mod:`repro.topology` — router-level ISP and AS-level Internet topologies.
+* :mod:`repro.linkstate` — the OSPF-like link-state substrate ROFL assumes.
+* :mod:`repro.intra` — intradomain ROFL (Section 3 of the paper).
+* :mod:`repro.inter` — interdomain ROFL (Section 4) plus the BGP baseline.
+* :mod:`repro.baselines` — CMU-ETHERNET and plain OSPF host routing.
+* :mod:`repro.services` — anycast, multicast, security, traffic engineering.
+* :mod:`repro.harness` — drivers that regenerate every figure in the paper.
+
+Quickstart::
+
+    from repro import quick_intradomain
+
+    net = quick_intradomain(n_routers=40, n_hosts=200, seed=1)
+    a, b = net.random_host_pair()
+    result = net.send(a, b)
+    print(result.hops, result.stretch)
+"""
+
+from repro.idspace.identifier import FlatId, RingSpace
+from repro.intra.network import IntraDomainNetwork
+from repro.inter.network import InterDomainNetwork
+from repro.topology.isp import synthetic_isp, ROCKETFUEL_PROFILES
+from repro.topology.asgraph import synthetic_as_graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FlatId",
+    "RingSpace",
+    "IntraDomainNetwork",
+    "InterDomainNetwork",
+    "synthetic_isp",
+    "synthetic_as_graph",
+    "ROCKETFUEL_PROFILES",
+    "quick_intradomain",
+    "quick_interdomain",
+]
+
+
+def quick_intradomain(n_routers=40, n_hosts=100, seed=0, cache_entries=1024):
+    """Build a small intradomain ROFL network ready to route packets.
+
+    This is the two-line entry point used by ``examples/quickstart.py``:
+    it generates a synthetic PoP-structured ISP, brings up the link-state
+    substrate and joins ``n_hosts`` hosts onto the ring.
+    """
+    topo = synthetic_isp(n_routers=n_routers, seed=seed)
+    net = IntraDomainNetwork(topo, cache_entries=cache_entries, seed=seed)
+    net.join_random_hosts(n_hosts)
+    return net
+
+
+def quick_interdomain(n_ases=60, n_hosts=300, seed=0, n_fingers=16):
+    """Build a small interdomain ROFL network over a synthetic AS graph."""
+    graph = synthetic_as_graph(n_ases=n_ases, seed=seed)
+    net = InterDomainNetwork(graph, n_fingers=n_fingers, seed=seed)
+    net.join_random_hosts(n_hosts)
+    return net

@@ -1,0 +1,130 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``figures [--full] [--only PREFIX]`` — regenerate the paper's
+  evaluation figures (same as ``examples/reproduce_paper.py``).
+* ``quickstart`` — a 30-second end-to-end tour of the intradomain system.
+* ``info`` — package, paper, and inventory summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.harness import experiments as E
+    from repro.harness import report as R
+    from repro.topology.isp import TCAM_ENTRIES
+
+    k = 3 if args.full else 1
+    plan = {
+        "fig5a": (lambda: E.fig5a_intra_join_overhead(
+            host_counts=(10, 100, 1000 * k)), R.format_fig5a),
+        "fig5b": (lambda: E.fig5b_join_overhead_cdf(n_hosts=500 * k),
+                  R.format_fig5b),
+        "fig5c": (lambda: E.fig5c_join_latency_cdf(n_hosts=300 * k),
+                  R.format_fig5c),
+        "fig6a": (lambda: E.fig6a_stretch_vs_cache(
+            cache_sizes=(0, 64, 1024, TCAM_ENTRIES),
+            n_hosts=800 * k, n_packets=400 * k), R.format_fig6a),
+        "fig6b": (lambda: E.fig6b_load_balance(n_hosts=500 * k,
+                                               n_packets=2000 * k),
+                  R.format_fig6b),
+        "fig6c": (lambda: E.fig6c_memory(host_counts=(10, 100, 1000 * k)),
+                  R.format_fig6c),
+        "fig7": (lambda: E.fig7_partition_repair(), R.format_fig7),
+        "fig7b": (lambda: E.fig7b_host_failure(n_hosts=500 * k),
+                  R.format_fig7b),
+        "fig8a": (lambda: E.fig8a_inter_join(n_hosts=400 * k),
+                  R.format_fig8a),
+        "fig8b": (lambda: E.fig8b_inter_stretch(n_hosts=300 * k,
+                                                n_packets=300 * k),
+                  R.format_fig8b),
+        "fig8c": (lambda: E.fig8c_inter_cache_stretch(n_hosts=300 * k,
+                                                      n_packets=300 * k),
+                  R.format_fig8c),
+        "fig8d": (lambda: E.fig8d_stub_failure(n_hosts=400 * k),
+                  R.format_fig8d),
+        "fig8e": (lambda: E.fig8e_bloom_peering(n_hosts=300 * k,
+                                                n_packets=300 * k),
+                  R.format_fig8e),
+    }
+    selected = {name: entry for name, entry in plan.items()
+                if args.only is None or name.startswith(args.only)}
+    if not selected:
+        print("no figure matches {!r}; choices: {}".format(
+            args.only, ", ".join(plan)), file=sys.stderr)
+        return 2
+    start = time.time()
+    for name, (build, render) in selected.items():
+        step = time.time()
+        print(render(build()))
+        print("[{} took {:.1f}s]\n".format(name, time.time() - step))
+    print("done in {:.1f}s".format(time.time() - start))
+    return 0
+
+
+def _cmd_quickstart(_args: argparse.Namespace) -> int:
+    from repro import quick_intradomain
+
+    net = quick_intradomain(n_routers=60, n_hosts=200, seed=1)
+    net.check_ring()
+    costs = net.stats.operation_costs("join")
+    print("{} hosts joined; ring consistent; avg join {:.1f} msgs "
+          "(diameter {})".format(net.n_hosts, sum(costs) / len(costs),
+                                 net.topology.diameter()))
+    delivered, stretches = 0, []
+    for _ in range(200):
+        a, b = net.random_host_pair()
+        result = net.send(a, b)
+        delivered += result.delivered
+        if result.delivered and result.optimal_hops > 0:
+            stretches.append(result.stretch)
+    print("routed 200 packets: {} delivered, mean stretch {:.2f}".format(
+        delivered, sum(stretches) / len(stretches)))
+    report = net.partition_pop(0)
+    print("PoP partition cycle: {} IDs, {} repair messages, ring "
+          "reconverged".format(report.ids_in_pop, report.total_messages))
+    return 0
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    import repro
+    print("repro {} — ROFL: Routing on Flat Labels (SIGCOMM 2006)".format(
+        repro.__version__))
+    print("Caesar, Condie, Kannan, Lakshminarayanan, Stoica, Shenker.")
+    print()
+    print("Subsystems: idspace, util, sim, topology, linkstate, intra,")
+    print("            inter, baselines, services, harness")
+    print("Docs: README.md (overview), DESIGN.md (inventory),")
+    print("      EXPERIMENTS.md (paper-vs-measured)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="regenerate evaluation figures")
+    figures.add_argument("--full", action="store_true",
+                         help="larger (slower) workloads")
+    figures.add_argument("--only", default=None,
+                         help="run only figures whose id starts with this")
+    figures.set_defaults(func=_cmd_figures)
+
+    quick = sub.add_parser("quickstart", help="run the quickstart scenario")
+    quick.set_defaults(func=_cmd_quickstart)
+
+    info = sub.add_parser("info", help="package and paper summary")
+    info.set_defaults(func=_cmd_info)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

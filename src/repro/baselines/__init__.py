@@ -1,0 +1,14 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.cmu_ethernet` — the flood-based flat routing
+  design of Myers, Ng and Zhang (HotNets'04), the paper's comparison
+  point for join overhead (Fig 5a, 37–181×) and memory (Fig 6c,
+  34–1200×).
+* :mod:`repro.baselines.ospf_routing` — plain shortest-path host routing,
+  the load-balance (Fig 6b) and stretch baseline.
+"""
+
+from repro.baselines.cmu_ethernet import CmuEthernetNetwork
+from repro.baselines.ospf_routing import OspfHostRouting
+
+__all__ = ["CmuEthernetNetwork", "OspfHostRouting"]

@@ -1,0 +1,49 @@
+"""Plain OSPF shortest-path host routing — the Fig 6b baseline.
+
+"For a particular x value, we plot the load at the i-th most congested
+router in an OSPF network, and the load under ROFL for that same
+router."  This baseline routes every packet over the hop-count shortest
+path between the endpoints' attachment routers and tallies per-router
+traversal counts with the same :class:`StatsCollector` plumbing ROFL
+uses, so the two load series are directly comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Sequence, Tuple
+
+from repro.linkstate.lsdb import LinkStateMap
+from repro.linkstate.spf import PathCache
+from repro.sim.stats import PathResult, StatsCollector
+from repro.topology.graph import RouterTopology
+
+
+class OspfHostRouting:
+    """Shortest-path routing between attachment routers."""
+
+    def __init__(self, topology: RouterTopology,
+                 lsmap: Optional[LinkStateMap] = None):
+        self.topology = topology
+        self.lsmap = lsmap or LinkStateMap(topology)
+        self.paths = PathCache(self.lsmap)
+        self.stats = StatsCollector()
+
+    def send(self, src_router: str, dst_router: str) -> PathResult:
+        path = self.paths.hop_path(src_router, dst_router)
+        if path is None:
+            return PathResult(delivered=False)
+        self.stats.charge_path(path, "data")
+        hops = len(path) - 1
+        return PathResult(delivered=True, path=path, hops=hops,
+                          optimal_hops=hops)
+
+    def load_series(self) -> Dict[Hashable, int]:
+        return self.stats.load_series()
+
+    def replay_pairs(self, pairs: Sequence[Tuple[str, str]]) -> int:
+        """Route a batch of (src_router, dst_router) pairs; returns how
+        many were delivered."""
+        delivered = 0
+        for src, dst in pairs:
+            delivered += self.send(src, dst).delivered
+        return delivered

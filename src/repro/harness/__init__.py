@@ -1,0 +1,13 @@
+"""Experiment harness: one driver per table/figure of the paper.
+
+Each ``figXX_*`` function in :mod:`repro.harness.experiments` builds the
+workload the paper describes, runs it at a configurable scale, and
+returns a plain dict of series; :mod:`repro.harness.report` renders those
+dicts as the rows/series the paper plots.  The ``benchmarks/`` tree wraps
+every driver in a pytest-benchmark target, and ``EXPERIMENTS.md`` records
+paper-vs-measured values.
+"""
+
+from repro.harness import experiments, report
+
+__all__ = ["experiments", "report"]

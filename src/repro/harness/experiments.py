@@ -1,0 +1,468 @@
+"""Drivers for every figure in the paper's evaluation (Section 6).
+
+Scaling: the paper simulates up to millions of (intradomain) and tens of
+thousands of (interdomain) hosts on their cluster; these drivers default
+to laptop-scale parameters and expose knobs to scale up.  Where the paper
+extrapolates to a 600 M-host Internet, the same log-linear extrapolation
+is computed and reported (see DESIGN.md §3.5).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.baselines.cmu_ethernet import CmuEthernetNetwork
+from repro.baselines.ospf_routing import OspfHostRouting
+from repro.inter.network import InterDomainNetwork
+from repro.inter.policy import JoinStrategy
+from repro.intra.network import IntraDomainNetwork
+from repro.sim.stats import cdf_points, percentile
+from repro.topology.asgraph import synthetic_as_graph
+from repro.topology.hosts import PAPER_INTERNET_HOSTS
+from repro.topology.isp import ROCKETFUEL_PROFILES, TCAM_ENTRIES, synthetic_isp
+from repro.util.rng import derive_rng
+
+#: Scaled-down router counts for fast benchmark runs; pass
+#: ``full_scale=True`` to use the paper's Rocketfuel sizes.
+FAST_PROFILES = {
+    "AS1221": 106,
+    "AS1239": 201,
+    "AS3257": 80,
+    "AS3967": 67,
+}
+
+
+def _isp(profile: str, seed: int, full_scale: bool):
+    n_routers = (ROCKETFUEL_PROFILES[profile]["routers"] if full_scale
+                 else FAST_PROFILES[profile])
+    return synthetic_isp(n_routers=n_routers, seed=seed, name=profile)
+
+
+# ---------------------------------------------------------------------------
+# Fig 5a — intradomain cumulative join overhead (+ CMU-ETHERNET ratio)
+# ---------------------------------------------------------------------------
+
+def fig5a_intra_join_overhead(profiles: Sequence[str] = ("AS1221", "AS3967"),
+                              host_counts: Sequence[int] = (10, 100, 1000),
+                              seed: int = 0,
+                              full_scale: bool = False) -> Dict:
+    """Cumulative join messages vs number of hosts, ROFL vs CMU-ETHERNET."""
+    out: Dict = {"profiles": {}, "host_counts": list(host_counts)}
+    for profile in profiles:
+        topo = _isp(profile, seed, full_scale)
+        rofl = IntraDomainNetwork(topo, seed=seed)
+        cmu = CmuEthernetNetwork(topo, seed=seed)
+        rofl_series: List[int] = []
+        cmu_series: List[int] = []
+        joined = 0
+        for target in sorted(host_counts):
+            rofl.join_random_hosts(target - joined)
+            cmu.join_random_hosts(target - joined)
+            joined = target
+            rofl_series.append(rofl.stats.total_messages("join"))
+            cmu_series.append(cmu.stats.total_messages("join"))
+        ratios = [c / r for r, c in zip(rofl_series, cmu_series) if r]
+        out["profiles"][profile] = {
+            "rofl_cumulative": rofl_series,
+            "cmu_cumulative": cmu_series,
+            "cmu_over_rofl": ratios,
+            "diameter": topo.diameter(),
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig 5b — CDF of per-host join overhead
+# ---------------------------------------------------------------------------
+
+def fig5b_join_overhead_cdf(profiles: Sequence[str] = ("AS1221", "AS3967"),
+                            n_hosts: int = 600, seed: int = 0,
+                            full_scale: bool = False) -> Dict:
+    out: Dict = {}
+    for profile in profiles:
+        topo = _isp(profile, seed, full_scale)
+        net = IntraDomainNetwork(topo, seed=seed)
+        net.join_random_hosts(n_hosts)
+        costs = net.stats.operation_costs("join")
+        out[profile] = {
+            "cdf": cdf_points(costs),
+            "median": percentile(costs, 0.5),
+            "p95": percentile(costs, 0.95),
+            "mean": sum(costs) / len(costs),
+            "diameter": topo.diameter(),
+            "per_diameter": (sum(costs) / len(costs)) / topo.diameter(),
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig 5c — CDF of join latency
+# ---------------------------------------------------------------------------
+
+def fig5c_join_latency_cdf(profiles: Sequence[str] = ("AS1221", "AS3967"),
+                           n_hosts: int = 400, seed: int = 0,
+                           full_scale: bool = False) -> Dict:
+    out: Dict = {}
+    for profile in profiles:
+        topo = _isp(profile, seed, full_scale)
+        net = IntraDomainNetwork(topo, seed=seed)
+        latencies = [net.join_host(net.next_planned_host()).latency_ms
+                     for _ in range(n_hosts)]
+        out[profile] = {
+            "cdf": cdf_points(latencies),
+            "median_ms": percentile(latencies, 0.5),
+            "p95_ms": percentile(latencies, 0.95),
+            "mean_ms": sum(latencies) / len(latencies),
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig 6a — intradomain stretch vs pointer-cache size
+# ---------------------------------------------------------------------------
+
+def fig6a_stretch_vs_cache(profile: str = "AS3967",
+                           cache_sizes: Sequence[int] = (0, 16, 64, 256, 1024,
+                                                         8192, TCAM_ENTRIES),
+                           n_hosts: int = 800, n_packets: int = 400,
+                           seed: int = 0, full_scale: bool = False) -> Dict:
+    series: List[Tuple[int, float]] = []
+    for cache in cache_sizes:
+        topo = _isp(profile, seed, full_scale)
+        net = IntraDomainNetwork(topo, cache_entries=cache, seed=seed)
+        net.join_random_hosts(n_hosts)
+        stretches = []
+        for _ in range(n_packets):
+            a, b = net.random_host_pair()
+            result = net.send(a, b)
+            if result.delivered and result.optimal_hops > 0:
+                stretches.append(result.stretch)
+        series.append((cache, sum(stretches) / len(stretches)))
+    return {"profile": profile, "series": series,
+            "tcam_entries": TCAM_ENTRIES}
+
+
+# ---------------------------------------------------------------------------
+# Fig 6b — load balance vs OSPF
+# ---------------------------------------------------------------------------
+
+def fig6b_load_balance(profile: str = "AS3967", n_hosts: int = 500,
+                       n_packets: int = 1500, seed: int = 0,
+                       full_scale: bool = False) -> Dict:
+    topo = _isp(profile, seed, full_scale)
+    net = IntraDomainNetwork(topo, seed=seed)
+    net.join_random_hosts(n_hosts)
+    net.stats.reset_load()
+    ospf = OspfHostRouting(topo)
+    rng = derive_rng(seed, "fig6b")
+    for _ in range(n_packets):
+        a, b = net.random_host_pair()
+        net.send(a, b)
+        ospf.send(net.hosts[a].router, net.hosts[b].router)
+    rofl_load = net.stats.load_series()
+    ospf_load = ospf.load_series()
+    rofl_total = sum(rofl_load.values()) or 1
+    ospf_total = sum(ospf_load.values()) or 1
+    # Routers ranked by OSPF load (the paper's x-axis).
+    ranked = sorted(topo.routers, key=lambda r: ospf_load.get(r, 0),
+                    reverse=True)
+    series = [(rank, ospf_load.get(r, 0) / ospf_total,
+               rofl_load.get(r, 0) / rofl_total)
+              for rank, r in enumerate(ranked)]
+    top10 = series[:max(1, len(series) // 10)]
+    return {
+        "profile": profile,
+        "series": series,
+        "max_fraction_ospf": max(s[1] for s in series),
+        "max_fraction_rofl": max(s[2] for s in series),
+        "top_decile_ratio": (sum(s[2] for s in top10)
+                             / max(1e-12, sum(s[1] for s in top10))),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig 6c — memory per router vs number of IDs (+ CMU-ETHERNET ratio)
+# ---------------------------------------------------------------------------
+
+def fig6c_memory(profile: str = "AS3967",
+                 host_counts: Sequence[int] = (10, 100, 1000),
+                 seed: int = 0, full_scale: bool = False) -> Dict:
+    topo = _isp(profile, seed, full_scale)
+    net = IntraDomainNetwork(topo, seed=seed)
+    cmu = CmuEthernetNetwork(topo, seed=seed)
+    series = []
+    joined = 0
+    for target in sorted(host_counts):
+        net.join_random_hosts(target - joined)
+        cmu.join_random_hosts(target - joined)
+        joined = target
+        rofl_mem = net.memory_entries_per_router(include_cache=False)
+        cmu_mem = cmu.memory_entries_per_router()
+        rofl_avg = sum(rofl_mem.values()) / len(rofl_mem)
+        cmu_avg = sum(cmu_mem.values()) / len(cmu_mem)
+        series.append({"ids": target, "rofl_avg_entries": rofl_avg,
+                       "cmu_avg_entries": cmu_avg,
+                       "cmu_over_rofl": cmu_avg / max(rofl_avg, 1e-9)})
+    return {"profile": profile, "series": series}
+
+
+# ---------------------------------------------------------------------------
+# Fig 7 — partition repair overhead vs IDs per PoP
+# ---------------------------------------------------------------------------
+
+def fig7_partition_repair(profile: str = "AS3967",
+                          ids_per_pop: Sequence[int] = (1, 4, 16, 64),
+                          seed: int = 0, full_scale: bool = False) -> Dict:
+    series = []
+    for per_pop in ids_per_pop:
+        topo = _isp(profile, seed, full_scale)
+        net = IntraDomainNetwork(topo, seed=seed)
+        n_pops = len(topo.pops)
+        net.join_random_hosts(per_pop * n_pops)
+        rng = derive_rng(seed, "fig7", per_pop)
+        pop = rng.choice(sorted(topo.pops))
+        report = net.partition_pop(pop)
+        # A rejoin baseline: what rejoining the PoP's IDs would cost.
+        join_costs = net.stats.operation_costs("join")
+        avg_join = sum(join_costs) / len(join_costs) if join_costs else 1.0
+        series.append({
+            "ids_per_pop": per_pop,
+            "ids_in_pop": report.ids_in_pop,
+            "repair_messages": report.total_messages,
+            "rejoin_baseline": report.ids_in_pop * avg_join,
+        })
+    return {"profile": profile, "series": series}
+
+
+# ---------------------------------------------------------------------------
+# §6.2 (text) — host-failure overhead vs join overhead
+# ---------------------------------------------------------------------------
+
+def fig7b_host_failure(profile: str = "AS3967", n_hosts: int = 500,
+                       n_failures: int = 100, seed: int = 0,
+                       full_scale: bool = False) -> Dict:
+    topo = _isp(profile, seed, full_scale)
+    net = IntraDomainNetwork(topo, seed=seed)
+    net.join_random_hosts(n_hosts)
+    join_costs = net.stats.operation_costs("join")
+    rng = derive_rng(seed, "fig7b")
+    failure_costs = []
+    for _ in range(n_failures):
+        victim = rng.choice(sorted(net.hosts))
+        failure_costs.append(net.fail_host(victim))
+    net.check_ring()
+    return {
+        "profile": profile,
+        "avg_join": sum(join_costs) / len(join_costs),
+        "avg_failure": sum(failure_costs) / len(failure_costs),
+        "failure_over_join": (sum(failure_costs) / len(failure_costs))
+                             / (sum(join_costs) / len(join_costs)),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig 8a — interdomain join overhead per strategy
+# ---------------------------------------------------------------------------
+
+def fig8a_inter_join(n_ases: int = 80, n_hosts: int = 300, seed: int = 0,
+                     n_fingers: int = 8) -> Dict:
+    out: Dict = {"strategies": {}}
+    for strategy in (JoinStrategy.EPHEMERAL, JoinStrategy.SINGLE_HOMED,
+                     JoinStrategy.MULTIHOMED, JoinStrategy.PEERING):
+        asg = synthetic_as_graph(n_ases=n_ases, seed=seed)
+        net = InterDomainNetwork(asg, n_fingers=n_fingers, seed=seed,
+                                 strategy=strategy)
+        receipts = net.join_random_hosts(n_hosts)
+        costs = [r.messages for r in receipts]
+        window = max(1, len(costs) // 5)
+        mean_fingers = sum(r.fingers for r in receipts) / len(receipts)
+        out["strategies"][strategy.value] = {
+            "moving_avg_tail": sum(costs[-window:]) / window,
+            "mean": sum(costs) / len(costs),
+            "mean_fingers": mean_fingers,
+            "cdf": cdf_points(costs),
+            "mismatches": net.lookup_mismatches,
+        }
+    out["extrapolation_600M"] = extrapolate_join_to_internet(
+        out, measured_ids=n_hosts)
+    return out
+
+
+#: Finger-table sizes the paper quotes for its 600 M-ID extrapolation
+#: ("a ROFL host can join across all providers and peers and acquire 340
+#: fingers with ∼445 control messages").
+PAPER_FINGER_TARGETS = {"ephemeral": 0, "single-homed": 0,
+                        "multihomed": 0, "peering": 340}
+
+
+def extrapolate_join_to_internet(fig8a: Dict, measured_ids: int,
+                                 internet_ids: int = PAPER_INTERNET_HOSTS) -> Dict:
+    """The paper's rough extrapolation to 600 M IDs.
+
+    The lookup legs of a join grow ~log2(n) with population; finger
+    acquisition costs ~1 message per finger and is a configuration
+    constant, so it is swapped for the paper's per-strategy finger target
+    before scaling and added back after.
+    """
+    out = {}
+    growth = math.log2(internet_ids) / math.log2(max(4, measured_ids))
+    for name, data in fig8a["strategies"].items():
+        base = max(1.0, data["moving_avg_tail"] - data["mean_fingers"])
+        target_fingers = PAPER_FINGER_TARGETS.get(name, 0)
+        out[name] = round(base * (0.5 + 0.5 * growth) + target_fingers, 1)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig 8b — interdomain stretch CDF vs finger count (+ BGP-policy)
+# ---------------------------------------------------------------------------
+
+def fig8b_inter_stretch(n_ases: int = 80, n_hosts: int = 300,
+                        finger_counts: Sequence[int] = (4, 16, 32),
+                        n_packets: int = 300, seed: int = 0) -> Dict:
+    out: Dict = {"fingers": {}}
+    for fingers in finger_counts:
+        asg = synthetic_as_graph(n_ases=n_ases, seed=seed)
+        net = InterDomainNetwork(asg, n_fingers=fingers, seed=seed,
+                                 strategy=JoinStrategy.MULTIHOMED)
+        net.join_random_hosts(n_hosts)
+        stretches = []
+        for _ in range(n_packets):
+            a, b = net.random_host_pair()
+            result = net.send(a, b)
+            if result.delivered and result.optimal_hops > 0:
+                stretches.append(result.stretch)
+        out["fingers"][fingers] = {
+            "cdf": cdf_points(stretches),
+            "mean": sum(stretches) / len(stretches),
+        }
+    # BGP-policy baseline: policy path over shortest path.
+    asg = synthetic_as_graph(n_ases=n_ases, seed=seed)
+    net = InterDomainNetwork(asg, n_fingers=0, seed=seed)
+    rng = derive_rng(seed, "fig8b-bgp")
+    bearers = [asn for asn in asg.ases() if asg.hosts(asn) > 0]
+    bgp_stretches = []
+    for _ in range(n_packets):
+        a, b = rng.sample(bearers, 2)
+        s = net.bgp.policy_stretch(a, b)
+        if s is not None:
+            bgp_stretches.append(s)
+    out["bgp_policy"] = {
+        "cdf": cdf_points(bgp_stretches),
+        "mean": sum(bgp_stretches) / len(bgp_stretches),
+    }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig 8c — interdomain stretch vs per-AS pointer cache
+# ---------------------------------------------------------------------------
+
+def fig8c_inter_cache_stretch(n_ases: int = 80, n_hosts: int = 300,
+                              cache_sizes: Sequence[int] = (0, 64, 512, 4096),
+                              n_packets: int = 300, seed: int = 0,
+                              n_fingers: int = 8) -> Dict:
+    series = []
+    for cache in cache_sizes:
+        asg = synthetic_as_graph(n_ases=n_ases, seed=seed)
+        net = InterDomainNetwork(asg, n_fingers=n_fingers, seed=seed,
+                                 cache_entries=cache,
+                                 strategy=JoinStrategy.MULTIHOMED)
+        net.join_random_hosts(n_hosts)
+        stretches = []
+        for _ in range(n_packets):
+            a, b = net.random_host_pair()
+            result = net.send(a, b)
+            if result.delivered and result.optimal_hops > 0:
+                stretches.append(result.stretch)
+        mbits = cache * net.space.bits / 1e6
+        series.append({"cache_entries": cache, "cache_mbits_per_as": mbits,
+                       "mean_stretch": sum(stretches) / len(stretches)})
+    return {"series": series}
+
+
+# ---------------------------------------------------------------------------
+# §6.3 failures — stub-AS failure impact
+# ---------------------------------------------------------------------------
+
+def fig8d_stub_failure(n_ases: int = 80, n_hosts: int = 400,
+                       n_failures: int = 5, n_probe_pairs: int = 400,
+                       seed: int = 0) -> Dict:
+    asg = synthetic_as_graph(n_ases=n_ases, seed=seed)
+    net = InterDomainNetwork(asg, n_fingers=8, seed=seed)
+    net.join_random_hosts(n_hosts)
+    rng = derive_rng(seed, "fig8d")
+
+    # Which host-pair paths does a to-be-failed stub carry?  The paper's
+    # 99.998%-unaffected claim rests on stubs carrying no transit: only
+    # paths *terminating* in the stub can break, and at Internet scale
+    # that is a vanishing fraction of pairs.
+    pairs = [net.random_host_pair() for _ in range(n_probe_pairs)]
+    paths = {}
+    for a, b in pairs:
+        paths[(a, b)] = net.send(a, b).path
+
+    results = []
+    stubs = [s for s in asg.stubs() if len(net.ases[s].hosted) > 0]
+    rng.shuffle(stubs)
+    for stub in stubs[:n_failures]:
+        ids = len(net.ases[stub].hosted)
+        transit_affected = sum(1 for p in paths.values() if stub in p[1:-1])
+        endpoint_affected = sum(
+            1 for (a, b), p in paths.items()
+            if (net.hosts.get(a) is not None and net.hosts[a].home_as == stub)
+            or (net.hosts.get(b) is not None and net.hosts[b].home_as == stub))
+        messages = net.fail_as(stub)
+        net.check_rings()
+        # Survivors must still reach each other.
+        delivered = 0
+        probes = 0
+        for _ in range(50):
+            try:
+                a, b = net.random_host_pair()
+            except ValueError:
+                break
+            probes += 1
+            delivered += net.send(a, b).delivered
+        results.append({
+            "stub": str(stub), "ids": ids, "repair_messages": messages,
+            "messages_per_id": messages / max(1, ids),
+            "transit_paths_affected": transit_affected / len(paths),
+            "endpoint_paths_affected": endpoint_affected / len(paths),
+            "endpoint_fraction_600M": ids / PAPER_INTERNET_HOSTS,
+            "post_delivery": delivered / max(1, probes),
+        })
+    return {"failures": results}
+
+
+# ---------------------------------------------------------------------------
+# §4.2 / 6.3 — bloom-filter peering vs virtual-AS peering
+# ---------------------------------------------------------------------------
+
+def fig8e_bloom_peering(n_ases: int = 80, n_hosts: int = 250,
+                        n_packets: int = 250, seed: int = 0,
+                        n_fingers: int = 8) -> Dict:
+    out: Dict = {}
+    for mode in ("virtual_as", "bloom"):
+        asg = synthetic_as_graph(n_ases=n_ases, seed=seed)
+        net = InterDomainNetwork(asg, n_fingers=n_fingers, seed=seed,
+                                 strategy=JoinStrategy.PEERING,
+                                 peering_mode=mode)
+        receipts = net.join_random_hosts(n_hosts)
+        costs = [r.messages for r in receipts]
+        stretches = []
+        delivered = 0
+        for _ in range(n_packets):
+            a, b = net.random_host_pair()
+            result = net.send(a, b)
+            delivered += result.delivered
+            if result.delivered and result.optimal_hops > 0:
+                stretches.append(result.stretch)
+        out[mode] = {
+            "mean_join": sum(costs) / len(costs),
+            "mean_stretch": sum(stretches) / max(1, len(stretches)),
+            "delivery_rate": delivered / n_packets,
+            "bloom_mbits_total": net.bloom_bits_total() / 1e6,
+        }
+    return out

@@ -1,0 +1,178 @@
+"""Rendering experiment results as the rows/series the paper reports.
+
+Each ``format_figXX`` takes the dict its driver produced and returns the
+text block printed by the benches and by ``examples/reproduce_paper.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+def _rule(title: str) -> str:
+    return "\n{}\n{}\n".format(title, "-" * len(title))
+
+
+def format_fig5a(result: Dict) -> str:
+    lines = [_rule("Fig 5a — intradomain cumulative join overhead")]
+    lines.append("{:<10} {:>8} {:>14} {:>14} {:>10}".format(
+        "ISP", "hosts", "ROFL msgs", "CMU msgs", "CMU/ROFL"))
+    for profile, data in result["profiles"].items():
+        for hosts, rofl, cmu, ratio in zip(result["host_counts"],
+                                           data["rofl_cumulative"],
+                                           data["cmu_cumulative"],
+                                           data["cmu_over_rofl"]):
+            lines.append("{:<10} {:>8} {:>14} {:>14} {:>9.1f}x".format(
+                profile, hosts, rofl, cmu, ratio))
+    lines.append("paper: linear scaling; CMU-ETHERNET 37-181x more messages")
+    return "\n".join(lines)
+
+
+def format_fig5b(result: Dict) -> str:
+    lines = [_rule("Fig 5b — CDF of per-host join overhead [packets]")]
+    lines.append("{:<10} {:>8} {:>8} {:>8} {:>10} {:>12}".format(
+        "ISP", "median", "p95", "mean", "diameter", "mean/diam"))
+    for profile, data in result.items():
+        lines.append("{:<10} {:>8.0f} {:>8.0f} {:>8.1f} {:>10} {:>11.1f}x".format(
+            profile, data["median"], data["p95"], data["mean"],
+            data["diameter"], data["per_diameter"]))
+    lines.append("paper: <45 packets per join, roughly 4x network diameter")
+    return "\n".join(lines)
+
+
+def format_fig5c(result: Dict) -> str:
+    lines = [_rule("Fig 5c — CDF of join latency [ms]")]
+    lines.append("{:<10} {:>10} {:>10} {:>10}".format(
+        "ISP", "median", "p95", "mean"))
+    for profile, data in result.items():
+        lines.append("{:<10} {:>10.1f} {:>10.1f} {:>10.1f}".format(
+            profile, data["median_ms"], data["p95_ms"], data["mean_ms"]))
+    lines.append("paper: joins typically complete in under 40 ms")
+    return "\n".join(lines)
+
+
+def format_fig6a(result: Dict) -> str:
+    lines = [_rule("Fig 6a — stretch vs pointer-cache size ({})".format(
+        result["profile"]))]
+    lines.append("{:>14} {:>12}".format("cache entries", "avg stretch"))
+    for cache, stretch in result["series"]:
+        lines.append("{:>14} {:>12.2f}".format(cache, stretch))
+    lines.append("paper: stretch drops to ~1.2-2 at ~70k entries (9 Mbit TCAM)")
+    return "\n".join(lines)
+
+
+def format_fig6b(result: Dict) -> str:
+    lines = [_rule("Fig 6b — load balance vs OSPF ({})".format(
+        result["profile"]))]
+    lines.append("max per-router traffic fraction: OSPF {:.4f}  ROFL {:.4f}".format(
+        result["max_fraction_ospf"], result["max_fraction_rofl"]))
+    lines.append("ROFL/OSPF load on the top-decile (hottest) routers: {:.2f}x".format(
+        result["top_decile_ratio"]))
+    lines.append("paper: difference from OSPF is slight; no significant hot-spots")
+    return "\n".join(lines)
+
+
+def format_fig6c(result: Dict) -> str:
+    lines = [_rule("Fig 6c — avg memory entries per router ({})".format(
+        result["profile"]))]
+    lines.append("{:>8} {:>16} {:>16} {:>10}".format(
+        "IDs", "ROFL entries", "CMU entries", "CMU/ROFL"))
+    for row in result["series"]:
+        lines.append("{:>8} {:>16.1f} {:>16.1f} {:>9.1f}x".format(
+            row["ids"], row["rofl_avg_entries"], row["cmu_avg_entries"],
+            row["cmu_over_rofl"]))
+    lines.append("paper: CMU-ETHERNET needs 34-1200x more memory")
+    return "\n".join(lines)
+
+
+def format_fig7(result: Dict) -> str:
+    lines = [_rule("Fig 7 — partition repair overhead ({})".format(
+        result["profile"]))]
+    lines.append("{:>12} {:>10} {:>14} {:>16}".format(
+        "IDs per PoP", "IDs hit", "repair msgs", "rejoin baseline"))
+    for row in result["series"]:
+        lines.append("{:>12} {:>10} {:>14} {:>16.0f}".format(
+            row["ids_per_pop"], row["ids_in_pop"], row["repair_messages"],
+            row["rejoin_baseline"]))
+    lines.append("paper: repair on the same order as rejoining the PoP's hosts;"
+                 " converges correctly in every run")
+    return "\n".join(lines)
+
+
+def format_fig7b(result: Dict) -> str:
+    lines = [_rule("§6.2 — host failure vs join overhead ({})".format(
+        result["profile"]))]
+    lines.append("avg join {:.1f} msgs, avg host-failure repair {:.1f} msgs "
+                 "({:.2f}x)".format(result["avg_join"], result["avg_failure"],
+                                    result["failure_over_join"]))
+    lines.append("paper: failure/mobility overhead comparable to join overhead")
+    return "\n".join(lines)
+
+
+def format_fig8a(result: Dict) -> str:
+    lines = [_rule("Fig 8a — interdomain join overhead by strategy")]
+    lines.append("{:<16} {:>12} {:>12}".format(
+        "strategy", "mean msgs", "tail avg"))
+    for name, data in result["strategies"].items():
+        lines.append("{:<16} {:>12.1f} {:>12.1f}".format(
+            name, data["mean"], data["moving_avg_tail"]))
+    lines.append("extrapolated to 600M IDs: {}".format(
+        result["extrapolation_600M"]))
+    lines.append("paper: ephemeral ~14, single-homed ~80, multihomed ~100,"
+                 " peering up to ~445 msgs (600M extrapolation)")
+    return "\n".join(lines)
+
+
+def format_fig8b(result: Dict) -> str:
+    lines = [_rule("Fig 8b — interdomain stretch vs finger count")]
+    lines.append("{:<14} {:>12}".format("fingers", "mean stretch"))
+    for fingers, data in sorted(result["fingers"].items()):
+        lines.append("{:<14} {:>12.2f}".format(fingers, data["mean"]))
+    lines.append("{:<14} {:>12.2f}".format("BGP-policy",
+                                           result["bgp_policy"]["mean"]))
+    lines.append("paper: stretch 2.8 @60 fingers falling to 2.3 @160;"
+                 " more fingers => less stretch")
+    return "\n".join(lines)
+
+
+def format_fig8c(result: Dict) -> str:
+    lines = [_rule("Fig 8c — interdomain stretch vs per-AS pointer cache")]
+    lines.append("{:>14} {:>16} {:>12}".format(
+        "cache entries", "Mbit per AS", "mean stretch"))
+    for row in result["series"]:
+        lines.append("{:>14} {:>16.2f} {:>12.2f}".format(
+            row["cache_entries"], row["cache_mbits_per_as"],
+            row["mean_stretch"]))
+    lines.append("paper: caching reduces stretch (2 -> 1.33 at 20M entries/AS)")
+    return "\n".join(lines)
+
+
+def format_fig8d(result: Dict) -> str:
+    lines = [_rule("§6.3 — stub-AS failure impact")]
+    lines.append("{:<8} {:>5} {:>12} {:>9} {:>9} {:>10} {:>12} {:>9}".format(
+        "stub", "IDs", "repair msgs", "msgs/ID", "transit", "endpoint",
+        "@600M scale", "delivery"))
+    for row in result["failures"]:
+        lines.append(
+            "{:<8} {:>5} {:>12} {:>9.1f} {:>8.2%} {:>9.2%} {:>11.6%} {:>8.0%}"
+            .format(row["stub"], row["ids"], row["repair_messages"],
+                    row["messages_per_id"], row["transit_paths_affected"],
+                    row["endpoint_paths_affected"],
+                    row["endpoint_fraction_600M"], row["post_delivery"]))
+    lines.append("paper: 99.998% of paths unaffected (stubs carry no transit —"
+                 " the transit column must be 0); repair msgs ~ #IDs in stub")
+    return "\n".join(lines)
+
+
+def format_fig8e(result: Dict) -> str:
+    lines = [_rule("§4.2/6.3 — peering: virtual-AS vs bloom filters")]
+    lines.append("{:<12} {:>12} {:>14} {:>10} {:>16}".format(
+        "mode", "mean join", "mean stretch", "delivery", "bloom Mbit"))
+    for mode, data in result.items():
+        lines.append("{:<12} {:>12.1f} {:>14.2f} {:>9.0%} {:>16.2f}".format(
+            mode, data["mean_join"], data["mean_stretch"],
+            data["delivery_rate"], data["bloom_mbits_total"]))
+    lines.append("paper: bloom filters cut peering-join overhead to the"
+                 " multihomed level at the cost of per-AS filter state and"
+                 " slightly higher stretch (3.29 vs 2.8)")
+    return "\n".join(lines)

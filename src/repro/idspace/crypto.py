@@ -1,0 +1,153 @@
+"""Self-certifying identities (Section 2.1 of the paper).
+
+"We use self-certifying identifiers; that is, we assume a host's or
+router's identity is tied to a public-private key pair, and its identifier
+(ID) is a hash of its public key. … When a host is assigned to a hosting
+router, before its ID can become resident, the host must prove to the
+router cryptographically that it holds the appropriate private key."
+
+Substitution (documented in DESIGN.md §3.4): the paper assumes a real
+asymmetric signature scheme; an offline reproduction does not need RSA to
+exercise the *protocol-visible* behaviour, only a scheme in which
+
+1. the identifier is deterministically derived from the public key,
+2. only the holder of the private key can produce a signature that
+   verifies against that public key, and
+3. anyone can verify without the private key.
+
+We model the asymmetric "math" with a :class:`SignatureAuthority` oracle:
+key generation registers the (public → private) binding inside the oracle,
+and verification re-derives the expected MAC through the oracle.  Attacker
+code in tests never touches the oracle's internals — it only holds public
+keys — so forged joins fail exactly as they would under real signatures.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.idspace.identifier import DEFAULT_BITS, FlatId
+
+
+class SpoofedIdentityError(Exception):
+    """Raised when a join or control message fails identity verification."""
+
+
+def _digest(*parts: bytes) -> bytes:
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(len(part).to_bytes(4, "big"))
+        h.update(part)
+    return h.digest()
+
+
+class SignatureAuthority:
+    """Oracle standing in for asymmetric signature mathematics.
+
+    One authority instance plays the role of "the algebra" for a whole
+    simulation: it knows, for every generated key pair, which private key
+    corresponds to a public key, and uses that to check signatures.  It is
+    *not* a trusted third party in the simulated protocol — protocol code
+    only ever exchanges public keys and signatures.
+    """
+
+    def __init__(self) -> None:
+        self._private_for_public: Dict[bytes, bytes] = {}
+
+    def register(self, public_key: bytes, private_key: bytes) -> None:
+        existing = self._private_for_public.get(public_key)
+        if existing is not None and existing != private_key:
+            raise ValueError("public key collision with mismatched private key")
+        self._private_for_public[public_key] = private_key
+
+    @staticmethod
+    def _mac(private_key: bytes, message: bytes) -> bytes:
+        return hmac.new(private_key, message, hashlib.sha256).digest()
+
+    def verify(self, public_key: bytes, message: bytes, signature: bytes) -> bool:
+        """Check that ``signature`` was produced by ``public_key``'s holder."""
+        private = self._private_for_public.get(public_key)
+        if private is None:
+            return False
+        return hmac.compare_digest(self._mac(private, message), signature)
+
+
+#: Default authority shared by code that does not thread its own through.
+DEFAULT_AUTHORITY = SignatureAuthority()
+
+
+@dataclass
+class KeyPair:
+    """A public/private key pair whose public key hashes to a flat ID."""
+
+    public_key: bytes
+    _private_key: bytes = field(repr=False)
+    authority: SignatureAuthority = field(default=DEFAULT_AUTHORITY, repr=False)
+    bits: int = DEFAULT_BITS
+
+    @classmethod
+    def generate(
+        cls,
+        seed: bytes,
+        authority: Optional[SignatureAuthority] = None,
+        bits: int = DEFAULT_BITS,
+    ) -> "KeyPair":
+        """Deterministically generate a key pair from ``seed``.
+
+        Determinism keeps simulations reproducible; distinct seeds give
+        independent keys.
+        """
+        authority = authority or DEFAULT_AUTHORITY
+        private = _digest(b"private", seed)
+        public = _digest(b"public", private)
+        authority.register(public, private)
+        return cls(public_key=public, _private_key=private, authority=authority, bits=bits)
+
+    @property
+    def flat_id(self) -> FlatId:
+        """The self-certifying identifier: a hash of the public key."""
+        return FlatId.from_bytes(self.public_key, bits=self.bits)
+
+    def sign(self, message: bytes) -> bytes:
+        return SignatureAuthority._mac(self._private_key, message)
+
+    def prove_ownership(self, challenge: bytes) -> "OwnershipProof":
+        """Produce the proof a hosting router demands before a join."""
+        return OwnershipProof(
+            claimed_id=self.flat_id,
+            public_key=self.public_key,
+            challenge=challenge,
+            signature=self.sign(_digest(b"join", challenge)),
+        )
+
+
+@dataclass(frozen=True)
+class OwnershipProof:
+    """A join-time proof that the sender holds the private key for an ID."""
+
+    claimed_id: FlatId
+    public_key: bytes
+    challenge: bytes
+    signature: bytes
+
+
+def authenticate(
+    proof: OwnershipProof, authority: Optional[SignatureAuthority] = None
+) -> FlatId:
+    """Verify a join proof; raise :class:`SpoofedIdentityError` on failure.
+
+    This implements line 1 of Algorithm 1 ("authenticate(id) # exception
+    on error"): the claimed ID must equal the hash of the public key, and
+    the signature over the router's challenge must verify.
+    """
+    authority = authority or DEFAULT_AUTHORITY
+    derived = FlatId.from_bytes(proof.public_key, bits=proof.claimed_id.bits)
+    if derived != proof.claimed_id:
+        raise SpoofedIdentityError("claimed ID is not the hash of the public key")
+    message = _digest(b"join", proof.challenge)
+    if not authority.verify(proof.public_key, message, proof.signature):
+        raise SpoofedIdentityError("signature does not verify for claimed ID")
+    return proof.claimed_id

@@ -1,0 +1,169 @@
+"""Flat identifiers and circular-namespace arithmetic.
+
+The paper wraps 128-bit identifiers "to create a circular namespace and, as
+in Chord, we use the notions of successor and predecessor" (Section 2.1).
+Routing is greedy: "a packet destined for an ID is sent in the direction of
+the pointer that is closest, but not past, the destination ID" (Section 2.2).
+This module is the single source of truth for that arithmetic; every other
+subsystem (intradomain rings, Canon merging, fingers, caches) goes through
+it, so the namespace size is configurable in one place and properties such
+as "greedy progress is monotone" can be tested once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import total_ordering
+from typing import Iterable, Optional
+
+DEFAULT_BITS = 128
+
+
+@total_ordering
+class FlatId:
+    """An immutable flat label in a ``2**bits`` circular namespace.
+
+    Instances are hashable and totally ordered by numeric value, which is
+    the *linear* order used to keep sorted rings; circular comparisons
+    (successorship, clockwise distance) live on :class:`RingSpace`.
+    """
+
+    __slots__ = ("value", "bits")
+
+    def __init__(self, value: int, bits: int = DEFAULT_BITS):
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        self.value = value % (1 << bits)
+        self.bits = bits
+
+    @classmethod
+    def from_bytes(cls, data: bytes, bits: int = DEFAULT_BITS) -> "FlatId":
+        """Derive an identifier by hashing ``data`` into the namespace.
+
+        This is how self-certifying IDs are formed: the identifier is "a
+        hash of its public key".
+        """
+        digest = hashlib.sha256(data).digest()
+        return cls(int.from_bytes(digest, "big"), bits=bits)
+
+    @classmethod
+    def from_hex(cls, text: str, bits: int = DEFAULT_BITS) -> "FlatId":
+        return cls(int(text, 16), bits=bits)
+
+    def to_hex(self) -> str:
+        width = (self.bits + 3) // 4
+        return format(self.value, "0{}x".format(width))
+
+    def prefix_bits(self, n: int) -> int:
+        """The top ``n`` bits, used by prefix-based finger tables."""
+        if not 0 <= n <= self.bits:
+            raise ValueError("prefix length out of range")
+        return self.value >> (self.bits - n) if n else 0
+
+    def digit(self, row: int, base_bits: int) -> int:
+        """Digit ``row`` of the ID when written in base ``2**base_bits``.
+
+        Row 0 is the most significant digit; this is the Pastry-style view
+        used by the proximity finger tables (Section 4.1).
+        """
+        shift = self.bits - (row + 1) * base_bits
+        if shift < 0:
+            raise ValueError("row out of range for this namespace")
+        return (self.value >> shift) & ((1 << base_bits) - 1)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, FlatId)
+            and self.value == other.value
+            and self.bits == other.bits
+        )
+
+    def __lt__(self, other: "FlatId") -> bool:
+        if not isinstance(other, FlatId):
+            return NotImplemented
+        return self.value < other.value
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.bits))
+
+    def __repr__(self) -> str:
+        return "FlatId(0x{}…)".format(self.to_hex()[:8])
+
+
+class RingSpace:
+    """Circular-namespace arithmetic over ``2**bits`` labels.
+
+    All interval conventions follow Chord: ``successor`` relations use
+    half-open intervals ``(a, b]`` clockwise, so that an ID is its own
+    successor only in a single-node ring.
+    """
+
+    def __init__(self, bits: int = DEFAULT_BITS):
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        self.bits = bits
+        self.size = 1 << bits
+
+    def make(self, value: int) -> FlatId:
+        return FlatId(value, bits=self.bits)
+
+    def hash_of(self, data: bytes) -> FlatId:
+        return FlatId.from_bytes(data, bits=self.bits)
+
+    def distance_cw(self, a: FlatId, b: FlatId) -> int:
+        """Clockwise (increasing-value, wrapping) distance from ``a`` to ``b``."""
+        return (b.value - a.value) % self.size
+
+    def in_interval_oc(self, x: FlatId, a: FlatId, b: FlatId) -> bool:
+        """True iff ``x`` lies in the clockwise interval ``(a, b]``.
+
+        When ``a == b`` the interval is the whole ring (everything except
+        nothing), matching the Chord convention for single-node rings.
+        """
+        if a == b:
+            return True
+        return 0 < self.distance_cw(a, x) <= self.distance_cw(a, b)
+
+    def in_interval_oo(self, x: FlatId, a: FlatId, b: FlatId) -> bool:
+        """True iff ``x`` lies strictly inside the clockwise interval ``(a, b)``."""
+        if a == b:
+            return x != a
+        da = self.distance_cw(a, x)
+        return 0 < da < self.distance_cw(a, b)
+
+    def progress(self, current: FlatId, candidate: FlatId, dest: FlatId) -> Optional[int]:
+        """Clockwise progress made by ``candidate`` toward ``dest``.
+
+        Returns the distance advanced, or ``None`` if the candidate would
+        overshoot (be "past" the destination) and is therefore not an
+        admissible greedy hop.  Landing exactly on ``dest`` is maximal
+        progress.
+        """
+        to_dest = self.distance_cw(current, dest)
+        advanced = self.distance_cw(current, candidate)
+        if advanced > to_dest:
+            return None
+        return advanced
+
+    def closest_not_past(
+        self, current: FlatId, dest: FlatId, candidates: Iterable[FlatId]
+    ) -> Optional[FlatId]:
+        """The greedy next hop: closest candidate to ``dest`` that is not past it.
+
+        This is the rule of Algorithm 2 in the paper.  Returns ``None`` when
+        no candidate makes strictly positive progress.
+        """
+        best = None
+        best_advance = 0
+        for cand in candidates:
+            advanced = self.progress(current, cand, dest)
+            if advanced is not None and advanced > best_advance:
+                best, best_advance = cand, advanced
+        return best
+
+    def midpoint(self, a: FlatId, b: FlatId) -> FlatId:
+        """The ID halfway along the clockwise arc from ``a`` to ``b``."""
+        return self.make(a.value + self.distance_cw(a, b) // 2)
+
+    def __repr__(self) -> str:
+        return "RingSpace(bits={})".format(self.bits)

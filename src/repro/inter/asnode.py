@@ -1,0 +1,224 @@
+"""The per-AS aggregated routing state (the paper models each AS as a
+single node in its interdomain simulations; Section 6.1).
+
+An AS node aggregates the pointer state of every identifier it hosts,
+keeps the AS-level pointer cache with its bloom-filter isolation guard
+(Section 4.1), and the bloom filter summarising the hosts in its subtree
+(consulted by the peering machinery of Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, TYPE_CHECKING
+
+from repro.idspace.identifier import FlatId, RingSpace
+from repro.inter.pointers import ASPointer, InterVirtualNode
+from repro.intra.pointercache import PointerCache
+from repro.util.bloom import BloomFilter
+from repro.util.ringmap import SortedRingMap
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.inter.network import InterDomainNetwork
+
+
+@dataclass
+class ASBestMatch:
+    """One greedy decision at an AS."""
+
+    dest_id: FlatId
+    pointer: Optional[ASPointer]
+    resident_vn: Optional[InterVirtualNode]
+    distance: int
+
+    @property
+    def is_local(self) -> bool:
+        return self.resident_vn is not None
+
+
+@dataclass
+class _Entry:
+    vn: Optional[InterVirtualNode] = None
+    pointers: List[ASPointer] = field(default_factory=list)
+
+
+class RoflAS:
+    """One AS running interdomain ROFL."""
+
+    def __init__(self, asn: Hashable, space: RingSpace,
+                 cache_entries: int = 0, bloom_bits: int = 1 << 14):
+        self.asn = asn
+        self.space = space
+        self.hosted: Dict[FlatId, InterVirtualNode] = {}
+        self.cache = PointerCache(space, cache_entries)
+        #: Hosts joined at or below this AS ("bloom filters that summarize
+        #: the set of hosts in the subtree rooted at the AS").
+        self.subtree_bloom = BloomFilter(n_bits=bloom_bits, n_hashes=4)
+        self._index: Optional[SortedRingMap] = None
+
+    # -- hosting -----------------------------------------------------------------
+
+    def host(self, vn: InterVirtualNode) -> None:
+        if vn.id in self.hosted:
+            raise ValueError("ID {} already hosted at {}".format(vn.id, self.asn))
+        if vn.home_as != self.asn:
+            raise ValueError("virtual node belongs to another AS")
+        self.hosted[vn.id] = vn
+        self.mark_dirty()
+
+    def unhost(self, vn_id: FlatId) -> InterVirtualNode:
+        vn = self.hosted.pop(vn_id)
+        self.mark_dirty()
+        return vn
+
+    def hosts_id(self, vn_id: FlatId) -> bool:
+        return vn_id in self.hosted
+
+    # -- the aggregated candidate index ----------------------------------------------
+
+    def mark_dirty(self) -> None:
+        self._index = None
+
+    def _ensure_index(self) -> SortedRingMap:
+        if self._index is not None:
+            return self._index
+        index = SortedRingMap(self.space)
+        for vn in self.hosted.values():
+            entry = index.get(vn.id)
+            if entry is None:
+                entry = _Entry()
+                index.insert(vn.id, entry)
+            entry.vn = vn
+        for vn in self.hosted.values():
+            for ptr in vn.candidate_pointers():
+                entry = index.get(ptr.dest_id)
+                if entry is None:
+                    entry = _Entry()
+                    index.insert(ptr.dest_id, entry)
+                entry.pointers.append(ptr)
+        self._index = index
+        return index
+
+    @staticmethod
+    def _vn_in_ring(vn: InterVirtualNode, scope: Optional[Hashable]) -> bool:
+        """Ring membership: an ID belongs to a level's merged ring iff it
+        joined that level (its home ring always counts)."""
+        if scope is None:
+            return True
+        return scope == vn.home_as or scope in vn.joined_levels
+
+    def best_match(self, net: "InterDomainNetwork", dest: FlatId,
+                   scope: Optional[Hashable] = None,
+                   arrived_from: Optional[Hashable] = None,
+                   use_cache: bool = True,
+                   max_scan: int = 512) -> Optional[ASBestMatch]:
+        """The closest admissible candidate to ``dest`` (not past it).
+
+        Admissibility: scoped searches only see ring members / pointers
+        formed at levels inside the scope (Algorithm 3's pruning); transit
+        shortcuts (``arrived_from`` set) must obey the BGP-like import
+        rule; cached pointers additionally pass the bloom-filter isolation
+        guard and lose to equally good non-cache state.
+        """
+        index = self._ensure_index()
+        best: Optional[ASBestMatch] = None
+        scanned = 0
+        for cand_id in index.iter_predecessors(dest):
+            scanned += 1
+            if scanned > max_scan:
+                break
+            entry = index[cand_id]
+            dist = self.space.distance_cw(cand_id, dest)
+            if entry.vn is not None and self._vn_in_ring(entry.vn, scope):
+                best = ASBestMatch(cand_id, None, entry.vn, dist)
+                break
+            pointer = self._pick_pointer(net, entry.pointers, scope, arrived_from)
+            if pointer is not None:
+                best = ASBestMatch(cand_id, pointer, None, dist)
+                break
+        if use_cache:
+            cached = self._cache_match(net, dest, scope, arrived_from,
+                                       best.distance if best else None)
+            if cached is not None:
+                return cached
+        return best
+
+    def _pick_pointer(self, net: "InterDomainNetwork",
+                      pointers: List[ASPointer], scope: Optional[Hashable],
+                      arrived_from: Optional[Hashable]) -> Optional[ASPointer]:
+        for ptr in pointers:
+            if scope is not None and ptr.kind == "finger":
+                # Scoped (join-time) searches walk the successor structure
+                # only: a finger may target an ID that is not a member of
+                # the ring being merged (its level records the owner's
+                # isolation constraint, not the target's membership).
+                continue
+            if scope is not None and ptr.level is not None \
+                    and not net.policy.level_contained_in(ptr.level, scope):
+                continue
+            if scope is not None and ptr.level is None \
+                    and not net.policy.level_contains(scope, ptr.dest_as):
+                continue
+            if arrived_from is not None and not net.policy.shortcut_allowed(
+                    arrived_from, self.asn, ptr.as_route):
+                continue
+            return ptr
+        return None
+
+    def _cache_match(self, net: "InterDomainNetwork", dest: FlatId,
+                     scope: Optional[Hashable],
+                     arrived_from: Optional[Hashable],
+                     better_than: Optional[int]) -> Optional[ASBestMatch]:
+        if len(self.cache) == 0 or scope is not None:
+            # Scoped (join-time) searches never use caches — they would
+            # escape the hierarchy level being merged.
+            return None
+        # Bloom-filter isolation guard: if the destination is (apparently)
+        # below this AS, the cache must not be used — a cached shortcut
+        # could pull intra-subtree traffic up through a provider.
+        if dest in self.subtree_bloom:
+            return None
+        ptr = self.cache.best_match(dest)
+        if ptr is None:
+            return None
+        dist = self.space.distance_cw(ptr.dest_id, dest)
+        if better_than is not None and dist >= better_than:
+            return None
+        if arrived_from is not None and not net.policy.shortcut_allowed(
+                arrived_from, self.asn, ptr.as_route):
+            return None
+        return ASBestMatch(ptr.dest_id, ptr, None, dist)
+
+    # -- upkeep -------------------------------------------------------------------
+
+    def drop_pointer(self, pointer: ASPointer) -> None:
+        self.cache.invalidate_id(pointer.dest_id)
+        for vn in self.hosted.values():
+            if vn.drop_dead_target(pointer.dest_id):
+                self.mark_dirty()
+
+    def reroute_pointer(self, new: ASPointer) -> None:
+        """Swap in a repaired route for every pointer naming its target."""
+        self.cache.replace(new)
+        for vn in self.hosted.values():
+            for table in (vn.succ_by_level, vn.pred_by_level):
+                for lvl, ptr in list(table.items()):
+                    if ptr.dest_id == new.dest_id:
+                        table[lvl] = ASPointer(new.dest_id, new.dest_as,
+                                               new.as_route, level=lvl,
+                                               kind=ptr.kind)
+                        self.mark_dirty()
+            vn.fingers = [ASPointer(new.dest_id, new.dest_as, new.as_route,
+                                    level=f.level, kind=f.kind)
+                          if f.dest_id == new.dest_id else f
+                          for f in vn.fingers]
+
+    def state_entries(self, include_cache: bool = True) -> int:
+        total = sum(vn.state_entries() for vn in self.hosted.values())
+        if include_cache:
+            total += len(self.cache)
+        return total
+
+    def __repr__(self) -> str:
+        return "RoflAS({!r}, hosted={}, cache={})".format(
+            self.asn, len(self.hosted), len(self.cache))

@@ -1,0 +1,196 @@
+"""Host mobility and graceful departure (paper Sections 1, 3.1, 6.2).
+
+Mobility is the architectural motivation for routing on flat labels: a
+host that moves keeps its identifier, and only routing state changes.
+Two mechanisms from the paper:
+
+* **Graceful leave/move** — unlike a failure (detected by timeout and
+  repaired with teardown floods), a departing host's gateway router can
+  hand the ring position over directly: the predecessor splices to the
+  successor with one exchange, and cached state is left to expire via
+  the lazy invariant-(b) teardown.  "Join overhead may be reduced
+  further by … having the router maintain the virtual node when the
+  host fails or moves temporarily" — the *parked* option below.
+* **Move = leave + rejoin** — the measured cost the paper compares to
+  join overhead ("the overhead triggered by host failure and mobility
+  [is] comparable to join overhead").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.idspace.identifier import FlatId
+from repro.intra import ring
+from repro.intra.virtualnode import Pointer, VirtualNode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.intra.network import IntraDomainNetwork
+
+
+@dataclass
+class MoveReceipt:
+    """Measured cost of one host move."""
+
+    host_name: str
+    flat_id: FlatId
+    old_router: str
+    new_router: str
+    leave_messages: int
+    rejoin_messages: int
+    parked: bool = False
+
+    @property
+    def total_messages(self) -> int:
+        return self.leave_messages + self.rejoin_messages
+
+
+def leave_host(net: "IntraDomainNetwork", host_name: str) -> int:
+    """Graceful departure: splice predecessor → successor directly.
+
+    Cheaper than failure recovery: the leaving node *tells* its
+    neighbours (no timeout, no invalidation flood — caches expire lazily
+    through the NACK teardown).  Returns the message cost.
+    """
+    vn = net.hosts.get(host_name)
+    if vn is None:
+        raise KeyError("unknown host {!r}".format(host_name))
+
+    with net.stats.operation("leave", host=host_name) as op:
+        if vn.ephemeral:
+            _leave_ephemeral(net, vn)
+        else:
+            _leave_stable(net, vn)
+        net.hosts.pop(host_name, None)
+        net.vn_index.pop(vn.id, None)
+        gateway = net.routers[vn.router]
+        if gateway.hosts_id(vn.id):
+            gateway.remove_virtual_node(vn.id)
+        return op["messages"]
+
+
+def _leave_ephemeral(net: "IntraDomainNetwork", vn: VirtualNode) -> None:
+    if vn.predecessor is None:
+        return
+    pred_vn = net.vn_index.get(vn.predecessor.dest_id)
+    path = net.paths.hop_path(vn.router, vn.predecessor.hosting_router)
+    if path is not None:
+        net.stats.charge_path(path, "leave")
+    if pred_vn is not None and vn.id in pred_vn.ephemeral_children:
+        del pred_vn.ephemeral_children[vn.id]
+        net.routers[pred_vn.router].mark_dirty()
+
+
+def _leave_stable(net: "IntraDomainNetwork", vn: VirtualNode) -> None:
+    pred_vn = (net.vn_index.get(vn.predecessor.dest_id)
+               if vn.predecessor is not None else None)
+    succ_ptr = vn.primary_successor()
+    succ_vn = net.vn_index.get(succ_ptr.dest_id) if succ_ptr else None
+
+    # One goodbye message each way; the goodbye to the predecessor
+    # carries the successor list so it can splice without a lookup.
+    for target in (pred_vn, succ_vn):
+        if target is None or target is vn:
+            continue
+        path = net.paths.hop_path(vn.router, target.router)
+        if path is not None:
+            net.stats.charge_path(path, "leave")
+
+    if pred_vn is not None and pred_vn is not vn:
+        if pred_vn.drop_successor(vn.id):
+            net.routers[pred_vn.router].mark_dirty()
+        merged = [p for p in pred_vn.successors if net.id_is_live(p.dest_id)]
+        for ptr in vn.successors:
+            if ptr.dest_id == pred_vn.id or not net.id_is_live(ptr.dest_id):
+                continue
+            path = net.paths.hop_path(pred_vn.router, ptr.hosting_router)
+            if path is not None:
+                merged.append(Pointer(ptr.dest_id, tuple(path), "successor"))
+        merged.sort(key=lambda p: net.space.distance_cw(pred_vn.id, p.dest_id))
+        pred_vn.set_successors(merged, net.successor_group_size)
+        net.routers[pred_vn.router].mark_dirty()
+        # Orphaned ephemeral children re-home to the predecessor.
+        for eph_id in list(vn.ephemeral_children):
+            eph_vn = net.vn_index.get(eph_id)
+            if eph_vn is None:
+                continue
+            path = net.paths.hop_path(pred_vn.router, eph_vn.router)
+            if path is None:
+                continue
+            net.stats.charge_path(path, "leave")
+            pred_vn.ephemeral_children[eph_id] = Pointer(eph_id, tuple(path),
+                                                         "ephemeral")
+            back = net.paths.hop_path(eph_vn.router, pred_vn.router)
+            if back is not None:
+                eph_vn.predecessor = Pointer(pred_vn.id, tuple(back),
+                                             "predecessor")
+            net.routers[pred_vn.router].mark_dirty()
+
+    if succ_vn is not None and pred_vn is not None and succ_vn is not vn \
+            and succ_vn is not pred_vn:
+        if succ_vn.predecessor is None or succ_vn.predecessor.dest_id == vn.id:
+            path = net.paths.hop_path(succ_vn.router, pred_vn.router)
+            if path is not None:
+                succ_vn.predecessor = Pointer(pred_vn.id, tuple(path),
+                                              "predecessor")
+    elif succ_vn is pred_vn and succ_vn is not None:
+        succ_vn.drop_successor(vn.id)
+        if succ_vn.predecessor is not None and succ_vn.predecessor.dest_id == vn.id:
+            succ_vn.predecessor = None
+        net.routers[succ_vn.router].mark_dirty()
+
+
+def move_host(net: "IntraDomainNetwork", host_name: str,
+              new_router: str) -> MoveReceipt:
+    """Move a host to a new gateway: graceful leave + rejoin.
+
+    The identifier — and therefore every correspondent's notion of who
+    the host *is* — never changes.
+    """
+    vn = net.hosts.get(host_name)
+    if vn is None:
+        raise KeyError("unknown host {!r}".format(host_name))
+    if not net.lsmap.is_router_up(new_router):
+        raise ValueError("target router {} is down".format(new_router))
+    old_router = vn.router
+    flat_id = vn.id
+    ephemeral = vn.ephemeral
+
+    leave_cost = leave_host(net, host_name)
+    receipt = ring.join_with_id(net, flat_id, new_router, host_name,
+                                ephemeral=ephemeral)
+    record = net.host_records.get(host_name)
+    if record is not None:
+        # Keep the deterministic plan record pointing at the new home.
+        from repro.topology.hosts import PlannedHost
+        net.host_records[host_name] = PlannedHost(
+            name=record.name, attach_at=new_router,
+            key_pair=record.key_pair, ephemeral=record.ephemeral)
+    return MoveReceipt(host_name=host_name, flat_id=flat_id,
+                       old_router=old_router, new_router=new_router,
+                       leave_messages=leave_cost,
+                       rejoin_messages=receipt.messages)
+
+
+def park_host(net: "IntraDomainNetwork", host_name: str) -> VirtualNode:
+    """The paper's optimisation for temporary absence: "having the router
+    maintain the virtual node when the host fails or moves temporarily".
+
+    The virtual node stays in the ring (zero messages); only the local
+    delivery leg is marked absent.  Returns the parked virtual node.
+    """
+    vn = net.hosts.get(host_name)
+    if vn is None:
+        raise KeyError("unknown host {!r}".format(host_name))
+    vn.host_name = "(parked):" + host_name
+    return vn
+
+
+def unpark_host(net: "IntraDomainNetwork", host_name: str) -> VirtualNode:
+    """Reattach a parked host at its maintained virtual node (free)."""
+    vn = net.hosts.get(host_name)
+    if vn is None or not (vn.host_name or "").startswith("(parked):"):
+        raise KeyError("host {!r} is not parked".format(host_name))
+    vn.host_name = host_name
+    return vn

@@ -1,0 +1,117 @@
+"""The per-router pointer cache (paper Sections 2.2, 3.3, 6.2).
+
+"Whenever a source route is established, the routers along the path can
+cache the route … The pointer-cache of routers is limited in size, and
+precedence is given to pointers [from resident IDs]."  Caches are sized in
+*entries*; the paper's hardware framing is 9 Mbit of TCAM ≈ 70 000 entries
+of 128-bit IDs (see :data:`repro.topology.isp.TCAM_ENTRIES`).
+
+Eviction is LRU over cached pointers only — resident-ID state never lives
+here, so the paper's precedence rule holds by construction.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, List, Optional
+
+from repro.idspace.identifier import FlatId, RingSpace
+from repro.intra.virtualnode import Pointer
+from repro.util.ringmap import SortedRingMap
+
+
+class PointerCache:
+    """A fixed-capacity LRU cache of pointers with greedy lookup.
+
+    Two indexes are kept in lock-step: an :class:`OrderedDict` for LRU
+    recency and a :class:`SortedRingMap` for ``O(log n)`` closest-not-past
+    queries (the paper's modified longest-prefix-match lookup).
+    """
+
+    def __init__(self, space: RingSpace, capacity: int):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.space = space
+        self.capacity = capacity
+        self._lru: "OrderedDict[FlatId, Pointer]" = OrderedDict()
+        self._ring = SortedRingMap(space)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def __contains__(self, dest_id: FlatId) -> bool:
+        return dest_id in self._lru
+
+    def put(self, pointer: Pointer) -> None:
+        """Insert/refresh a cached pointer, evicting LRU on overflow."""
+        if self.capacity == 0:
+            return
+        dest = pointer.dest_id
+        if dest in self._lru:
+            self._lru.pop(dest)
+        elif len(self._lru) >= self.capacity:
+            evicted_id, _ = self._lru.popitem(last=False)
+            self._ring.discard(evicted_id)
+            self.evictions += 1
+        self._lru[dest] = pointer
+        self._ring.insert(dest, pointer)
+
+    def get(self, dest_id: FlatId) -> Optional[Pointer]:
+        pointer = self._lru.get(dest_id)
+        if pointer is not None:
+            self._lru.move_to_end(dest_id)
+        return pointer
+
+    def best_match(self, dest: FlatId) -> Optional[Pointer]:
+        """Algorithm 2's ``PC.best_match``: the cached pointer closest to
+        ``dest`` without passing it — i.e. the entry minimising the
+        clockwise distance to ``dest``.  Touches recency on a hit."""
+        match = self._ring.predecessor(dest, strict=False)
+        if match is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._lru.move_to_end(match)
+        return self._lru[match]
+
+    def invalidate_id(self, dest_id: FlatId) -> bool:
+        """Drop the entry for a failed identifier (teardown handling)."""
+        if dest_id not in self._lru:
+            return False
+        self._lru.pop(dest_id)
+        self._ring.discard(dest_id)
+        return True
+
+    def invalidate_where(self, predicate: Callable[[Pointer], bool]) -> int:
+        """Drop every entry whose pointer matches ``predicate`` — e.g. all
+        routes traversing a failed router or link.  Returns count dropped."""
+        doomed = [dest for dest, ptr in self._lru.items() if predicate(ptr)]
+        for dest in doomed:
+            self._lru.pop(dest)
+            self._ring.discard(dest)
+        return len(doomed)
+
+    def replace(self, pointer: Pointer) -> None:
+        """Refresh an entry's source route in place (path repair)."""
+        if pointer.dest_id in self._lru:
+            self._lru[pointer.dest_id] = pointer
+            self._ring.insert(pointer.dest_id, pointer)
+
+    def entries(self) -> List[Pointer]:
+        return list(self._lru.values())
+
+    def clear(self) -> None:
+        self._lru.clear()
+        self._ring = SortedRingMap(self.space)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return "PointerCache({}/{} entries, hit_rate={:.2f})".format(
+            len(self._lru), self.capacity, self.hit_rate)

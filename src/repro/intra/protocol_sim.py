@@ -1,0 +1,407 @@
+"""Event-driven, message-level execution of the intradomain control plane.
+
+The procedural paths in :mod:`repro.intra.ring` charge whole operations
+synchronously; this module runs the *same protocol* as individual
+messages over the discrete-event kernel — per-link latencies, in-flight
+interleaving of concurrent joins, optional message loss with
+gateway-side retransmission timers.  It exists to demonstrate (and test)
+that the join protocol is correct as a dynamic distributed protocol, not
+just as a sequence of atomic state updates:
+
+* virtual nodes are registered *before* the predecessor lookup (Algorithm
+  1 creates the VN first), so concurrent joiners are routable targets
+  while their own state is still being assembled;
+* predecessor-side splicing happens atomically when the join request is
+  *processed* at the predecessor's router, serialising concurrent joins
+  into the same ring gap by event order, exactly as a single-threaded
+  router would;
+* lost messages are recovered by retransmitting the whole exchange from
+  the gateway ("the join request is idempotent": a re-run lookup finds
+  the current predecessor, which may already include earlier splices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from repro.intra.virtualnode import Pointer, VirtualNode
+from repro.sim.engine import Event, EventLoop
+from repro.topology.hosts import PlannedHost
+from repro.util.rng import derive_rng
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.intra.network import IntraDomainNetwork
+
+
+@dataclass
+class PendingJoin:
+    """Book-keeping for one in-flight join."""
+
+    host: PlannedHost
+    vn: VirtualNode
+    gateway: str
+    started_at: float
+    state: str = "lookup"           # lookup → setup → done | failed
+    messages: int = 0
+    retries: int = 0
+    completed_at: Optional[float] = None
+    timer: Optional[Event] = None
+    on_done: Optional[Callable[["PendingJoin"], None]] = None
+
+    @property
+    def done(self) -> bool:
+        return self.state in ("done", "failed")
+
+    @property
+    def latency_ms(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+
+@dataclass
+class _ControlPacket:
+    """One control message moving hop by hop through the network."""
+
+    kind: str                       # request | response | setup | ack
+    pending: PendingJoin
+    current: str
+    target_router: Optional[str] = None     # for source-routed phases
+    route: Optional[List[str]] = None
+    step: int = 0
+    committed: Optional[Pointer] = None
+    committed_step: int = 0
+    committed_dist: Optional[int] = None
+    hops: int = 0
+    payload: object = None
+
+
+class ProtocolSimulator:
+    """Runs message-level joins over an :class:`IntraDomainNetwork`."""
+
+    def __init__(self, net: "IntraDomainNetwork", seed: int = 0,
+                 loss_rate: float = 0.0, retransmit_ms: float = 250.0,
+                 max_retries: int = 6):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.net = net
+        self.loop = EventLoop()
+        self.loss_rate = loss_rate
+        self.retransmit_ms = retransmit_ms
+        self.max_retries = max_retries
+        self._rng = derive_rng(seed, "protocol-sim")
+        self.joins: List[PendingJoin] = []
+        self.messages_sent = 0
+        self.messages_lost = 0
+        self.retransmissions = 0
+
+    # -- public API ----------------------------------------------------------------
+
+    def join_host(self, host: PlannedHost, via_router: Optional[str] = None,
+                  on_done: Optional[Callable[[PendingJoin], None]] = None
+                  ) -> PendingJoin:
+        """Start one asynchronous join; completes as the loop runs."""
+        from repro.idspace.crypto import authenticate
+        gateway = via_router or host.attach_at
+        if not self.net.lsmap.is_router_up(gateway):
+            raise ValueError("gateway {} is down".format(gateway))
+        challenge = "async:{}:{}".format(gateway, host.name).encode("utf-8")
+        flat_id = authenticate(host.key_pair.prove_ownership(challenge),
+                               self.net.authority)
+        if flat_id in self.net.vn_index:
+            raise ValueError("ID already joined")
+        vn = VirtualNode(id=flat_id, router=gateway, host_name=host.name,
+                         joining=True)
+        # Algorithm 1 registers the virtual node before the lookup, so
+        # concurrent joiners can be routed to mid-join; the ``joining``
+        # flag keeps it out of other lookups' position candidates until
+        # its own splice completes.
+        self.net.routers[gateway].register_virtual_node(vn)
+        self.net.vn_index[flat_id] = vn
+        self.net.hosts[host.name] = vn
+        self.net.host_records[host.name] = host
+
+        pending = PendingJoin(host=host, vn=vn, gateway=gateway,
+                              started_at=self.loop.now, on_done=on_done)
+        self.joins.append(pending)
+        self._launch_lookup(pending)
+        return pending
+
+    def run(self, until: Optional[float] = None) -> int:
+        return self.loop.run(until=until)
+
+    # -- message plumbing -------------------------------------------------------------
+
+    #: Per-hop link-layer retransmissions before giving up on a hop and
+    #: leaving recovery to the end-to-end timer.
+    HOP_ARQ_RETRIES = 6
+
+    def _hop(self, pkt: _ControlPacket, next_router: str,
+             handler: Callable[[_ControlPacket], None],
+             _attempt: int = 0) -> None:
+        """Move ``pkt`` one physical hop, with latency and loss.
+
+        Lost frames are retransmitted hop-by-hop (link-layer ARQ, as a
+        real control plane would); only a hop that fails
+        ``HOP_ARQ_RETRIES`` times in a row is abandoned to the
+        end-to-end retransmission timer."""
+        self.messages_sent += 1
+        pkt.pending.messages += 1
+        self.net.stats.charge_hops(1, "async-join")
+        latency = self.net.lsmap.live_graph.edges[pkt.current,
+                                                  next_router]["latency_ms"]
+        if self._rng.random() < self.loss_rate:
+            self.messages_lost += 1
+            if _attempt >= self.HOP_ARQ_RETRIES:
+                return  # hop abandoned; end-to-end timer recovers
+            self.retransmissions += 1
+            self.loop.schedule(3 * latency,
+                               lambda: self._hop(pkt, next_router, handler,
+                                                 _attempt + 1))
+            return
+        def arrive() -> None:
+            pkt.current = next_router
+            handler(pkt)
+        self.loop.schedule(latency, arrive)
+
+    # -- phase 1: greedy lookup --------------------------------------------------------
+
+    def _launch_lookup(self, pending: PendingJoin) -> None:
+        pkt = _ControlPacket(kind="request", pending=pending,
+                             current=pending.gateway)
+        pending.state = "lookup"
+        self._arm_timer(pending)
+        self._process_lookup(pkt)
+
+    def _arm_timer(self, pending: PendingJoin) -> None:
+        if pending.timer is not None:
+            pending.timer.cancel()
+        def fire() -> None:
+            if pending.done:
+                return
+            pending.retries += 1
+            if pending.retries > self.max_retries:
+                pending.state = "failed"
+                self._finish(pending)
+                return
+            # Phase-aware retransmission: if the response already arrived
+            # (the successor group is built), only the setup/ack exchange
+            # needs re-sending; otherwise re-run the idempotent lookup.
+            if pending.state == "setup" and pending.vn.successors:
+                self._arm_timer(pending)
+                self._launch_setup(pending)
+            else:
+                self._launch_lookup(pending)
+        pending.timer = self.loop.schedule(self.retransmit_ms, fire)
+
+    def _process_lookup(self, pkt: _ControlPacket) -> None:
+        """One greedy step of the join request at the current router.
+
+        Mirrors :func:`repro.intra.forwarding.route`'s lookup mode, one
+        event per physical hop: predecessors may only be declared at
+        *decision points* (the start, or arrival at a committed pointer's
+        hosting router); transit routers only shortcut when strictly
+        closer.  Dead ends simply stall — the gateway's retransmission
+        timer re-runs the idempotent lookup later, by which time blocking
+        half-joined nodes have completed."""
+        pending = pkt.pending
+        if pending.done or pending.state != "lookup":
+            return  # a retransmission already superseded this packet
+        net = self.net
+        space = net.space
+        router = net.routers[pkt.current]
+        greedy_dest = space.make(pending.vn.id.value - 1)
+
+        match = router.best_match(greedy_dest, include_ephemeral=False)
+
+        if pkt.committed is not None \
+                and pkt.current == pkt.committed.hosting_router:
+            # Arrived at the committed pointer's target.
+            target_vn = router.vn_table.get(pkt.committed.dest_id)
+            if target_vn is None or target_vn.joining or target_vn.ephemeral:
+                return  # stale or mid-join: stall, timer will retry
+            if match is not None and match.distance < pkt.committed_dist:
+                pkt.committed = None  # something even closer is known here
+            else:
+                self._pred_found(pkt, target_vn)
+                return
+
+        if pkt.committed is None:
+            # Decision point.
+            if match is None:
+                return  # no state here; timer will retry
+            if pkt.committed_dist is not None \
+                    and match.distance >= pkt.committed_dist:
+                return  # stalled (e.g. the only progress was torn down)
+            if match.is_local:
+                # Closest known ID is resident right here and its own
+                # pointers all overshoot: it is the predecessor.
+                self._pred_found(pkt, match.resident_vn)
+                return
+            pointer = net.validate_pointer(router, match.pointer)
+            if pointer is None:
+                self.loop.schedule(0.0, lambda: self._process_lookup(pkt))
+                return
+            pkt.committed = pointer
+            pkt.committed_step = 0
+            pkt.committed_dist = match.distance
+            if pointer.n_hops == 0:
+                pkt.committed = None
+                self.loop.schedule(0.0, lambda: self._process_lookup(pkt))
+                return
+        else:
+            # Transit router: shortcut only onto strictly closer state.
+            if match is not None and pkt.committed_dist is not None \
+                    and match.distance < pkt.committed_dist:
+                pkt.committed = None
+                self.loop.schedule(0.0, lambda: self._process_lookup(pkt))
+                return
+
+        next_router = pkt.committed.path[pkt.committed_step + 1]
+        pkt.committed_step += 1
+        self._hop(pkt, next_router, self._process_lookup)
+
+    # -- phase 2: splice + response ----------------------------------------------------
+
+    def _merge_successor(self, owner: VirtualNode,
+                         new_pointers: List[Pointer]) -> None:
+        """Order-aware group merge.
+
+        Concurrent joins into the same ring gap can be processed in
+        either order, and a node may acquire "island" children while its
+        own join is still in flight; a blind prepend would let the later
+        splice shadow an earlier, closer one.  Merging and sorting by
+        clockwise distance keeps the group correct under any event
+        interleaving."""
+        merged = [p for p in owner.successors
+                  if self.net.id_is_live(p.dest_id)]
+        merged.extend(p for p in new_pointers if p.dest_id != owner.id)
+        merged.sort(key=lambda p: self.net.space.distance_cw(owner.id,
+                                                             p.dest_id))
+        owner.set_successors(merged, self.net.successor_group_size)
+        self.net.routers[owner.router].mark_dirty()
+
+    def _pred_found(self, pkt: _ControlPacket, pred: VirtualNode) -> None:
+        """The predecessor's router processes the request: it splices the
+        new node in atomically and sends the response."""
+        pending = pkt.pending
+        net = self.net
+        vn = pending.vn
+        if pred.id == vn.id:
+            # Routed back to ourselves (e.g. first host scenario handled
+            # by the ring of default VNs, so this is a protocol error).
+            pending.state = "failed"
+            self._finish(pending)
+            return
+
+        inherited_targets = [(p.dest_id, p.hosting_router)
+                             for p in pred.successors
+                             if net.id_is_live(p.dest_id)]
+        pred_path = net.paths.hop_path(pred.router, vn.router)
+        if pred_path is None:
+            return  # unreachable; retransmission will retry
+        self._merge_successor(pred, [Pointer(vn.id, tuple(pred_path),
+                                             "successor")])
+
+        response = _ControlPacket(kind="response", pending=pending,
+                                  current=pred.router,
+                                  route=list(pred_path), step=0)
+        pending.state = "setup"
+        # Stash what the gateway needs to build its successor group.
+        pending.vn.predecessor = Pointer(
+            pred.id,
+            tuple(net.paths.hop_path(vn.router, pred.router) or (vn.router,)),
+            "predecessor")
+        response.payload = (pred.id, inherited_targets)
+        self._forward_source_routed(response, self._response_arrived)
+
+    def _forward_source_routed(self, pkt: _ControlPacket,
+                               handler: Callable[[_ControlPacket], None]) -> None:
+        route = pkt.route or []
+        if pkt.step >= len(route) - 1:
+            handler(pkt)
+            return
+        next_router = route[pkt.step + 1]
+        pkt.step += 1
+        self._hop(pkt, next_router,
+                  lambda p: self._forward_source_routed(p, handler))
+
+    def _response_arrived(self, pkt: _ControlPacket) -> None:
+        pending = pkt.pending
+        if pending.done or pending.state != "setup":
+            return
+        net = self.net
+        vn = pending.vn
+        _, inherited_targets = pkt.payload
+        group: List[Pointer] = []
+        for dest_id, hosting in inherited_targets:
+            if not net.id_is_live(dest_id):
+                continue
+            path = net.paths.hop_path(vn.router, hosting)
+            if path is not None:
+                group.append(Pointer(dest_id, tuple(path), "successor"))
+        if not group and not vn.successors and vn.predecessor is not None:
+            back = net.paths.hop_path(vn.router,
+                                      vn.predecessor.hosting_router)
+            if back is not None:
+                group = [Pointer(vn.predecessor.dest_id, tuple(back),
+                                 "successor")]
+        # Merge rather than replace: children spliced onto this node while
+        # its own join was in flight must survive.
+        self._merge_successor(vn, group)
+
+        self._launch_setup(pending)
+
+    def _launch_setup(self, pending: PendingJoin) -> None:
+        vn = pending.vn
+        primary = vn.primary_successor()
+        if primary is None:
+            self._complete(pending)
+            return
+        setup = _ControlPacket(kind="setup", pending=pending,
+                               current=vn.router,
+                               route=list(primary.path), step=0)
+        self._forward_source_routed(setup, self._setup_arrived)
+
+    def _setup_arrived(self, pkt: _ControlPacket) -> None:
+        pending = pkt.pending
+        if pending.done:
+            return
+        net = self.net
+        vn = pending.vn
+        primary = vn.primary_successor()
+        succ_vn = net.vn_index.get(primary.dest_id) if primary else None
+        if succ_vn is not None and not succ_vn.ephemeral:
+            back = net.paths.hop_path(succ_vn.router, vn.router)
+            if back is not None:
+                succ_vn.predecessor = Pointer(vn.id, tuple(back),
+                                              "predecessor")
+                net.routers[succ_vn.router].mark_dirty()
+        ack = _ControlPacket(kind="ack", pending=pending, current=pkt.current,
+                             route=list(reversed(pkt.route or [])), step=0)
+        self._forward_source_routed(ack, lambda p: self._complete(p.pending))
+
+    def _complete(self, pending: PendingJoin) -> None:
+        if pending.done:
+            return
+        pending.state = "done"
+        pending.completed_at = self.loop.now
+        pending.vn.joining = False
+        self.net.routers[pending.vn.router].mark_dirty()
+        self._finish(pending)
+
+    def _finish(self, pending: PendingJoin) -> None:
+        if pending.timer is not None:
+            pending.timer.cancel()
+            pending.timer = None
+        if pending.state == "failed":
+            # Roll the half-joined state back out.
+            net = self.net
+            net.vn_index.pop(pending.vn.id, None)
+            net.hosts.pop(pending.host.name, None)
+            gateway = net.routers[pending.gateway]
+            if gateway.hosts_id(pending.vn.id):
+                gateway.remove_virtual_node(pending.vn.id)
+        if pending.on_done is not None:
+            pending.on_done(pending)

@@ -1,0 +1,234 @@
+"""The ROFL hosting router (paper Sections 2.2, 3.1, 3.3).
+
+Each router owns:
+
+* a table of resident virtual nodes (``VN`` in Algorithm 2), always
+  including the router's *default virtual node* whose ID is the router-ID
+  — "its successors act as default routes if it has no other successors
+  that it can use to make progress";
+* a bounded :class:`PointerCache` (``PC`` in Algorithm 2);
+* a lazily rebuilt sorted index over every ID the router knows (resident
+  IDs, their successor groups, parked ephemeral IDs) so Algorithm 2's
+  ``VN.best_match`` runs in ``O(log n)``.  The paper makes the matching
+  observation for hardware: closest-ID match "can be implemented with
+  minor modifications to routers that support longest-prefix match".
+
+Callers that mutate virtual-node pointer state directly (the ring and
+failure machinery) must call :meth:`RoflRouter.mark_dirty` afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.idspace.identifier import FlatId, RingSpace
+from repro.intra.pointercache import PointerCache
+from repro.intra.virtualnode import Pointer, VirtualNode
+from repro.util.ringmap import SortedRingMap
+
+
+@dataclass
+class BestMatch:
+    """Result of a router's local best-match evaluation."""
+
+    dest_id: FlatId
+    #: ``None`` when the match is a locally resident ID (no hop needed).
+    pointer: Optional[Pointer]
+    resident_vn: Optional[VirtualNode]
+    distance: int
+
+    @property
+    def is_local(self) -> bool:
+        return self.resident_vn is not None
+
+
+@dataclass
+class _Candidate:
+    """One indexed ID the router can make greedy progress toward."""
+
+    vn: Optional[VirtualNode] = None       # set when the ID is resident here
+    pointer: Optional[Pointer] = None      # set when reached via a source route
+    pointer_ephemeral: bool = False        # pointer parks an ephemeral child
+
+
+class RoflRouter:
+    """One hosting router: resident virtual nodes plus a pointer cache."""
+
+    def __init__(self, name: str, space: RingSpace, cache_entries: int = 0):
+        self.name = name
+        self.space = space
+        self.router_id = space.hash_of(("router:" + name).encode("utf-8"))
+        self.vn_table: Dict[FlatId, VirtualNode] = {}
+        self.cache = PointerCache(space, cache_entries)
+        self.default_vn = VirtualNode(id=self.router_id, router=name)
+        self.vn_table[self.router_id] = self.default_vn
+        self._index: Optional[SortedRingMap] = None
+
+    # -- virtual-node management ------------------------------------------------
+
+    def register_virtual_node(self, vn: VirtualNode) -> None:
+        """Line 3 of Algorithm 1."""
+        if vn.id in self.vn_table:
+            raise ValueError("ID {} already resident at {}".format(vn.id, self.name))
+        if vn.router != self.name:
+            raise ValueError("virtual node belongs to another router")
+        self.vn_table[vn.id] = vn
+        self.mark_dirty()
+
+    def remove_virtual_node(self, vn_id: FlatId) -> VirtualNode:
+        if vn_id == self.router_id:
+            raise ValueError("cannot remove the default virtual node")
+        vn = self.vn_table.pop(vn_id)
+        self.mark_dirty()
+        return vn
+
+    def resident_vns(self, include_ephemeral: bool = True) -> List[VirtualNode]:
+        return [vn for vn in self.vn_table.values()
+                if include_ephemeral or not vn.ephemeral]
+
+    def hosts_id(self, vn_id: FlatId) -> bool:
+        return vn_id in self.vn_table
+
+    # -- candidate index -----------------------------------------------------------
+
+    def mark_dirty(self) -> None:
+        """Invalidate the candidate index after any pointer-state change."""
+        self._index = None
+
+    def _ensure_index(self) -> SortedRingMap:
+        if self._index is not None:
+            return self._index
+        index = SortedRingMap(self.space)
+
+        def entry_for(flat_id: FlatId) -> _Candidate:
+            cand = index.get(flat_id)
+            if cand is None:
+                cand = _Candidate()
+                index.insert(flat_id, cand)
+            return cand
+
+        for vn in self.vn_table.values():
+            entry_for(vn.id).vn = vn
+        for vn in self.vn_table.values():
+            if vn.ephemeral:
+                continue
+            for ptr in vn.successors:
+                cand = entry_for(ptr.dest_id)
+                if cand.pointer is None:
+                    cand.pointer = ptr
+            for eph_id, ptr in vn.ephemeral_children.items():
+                cand = entry_for(eph_id)
+                if cand.pointer is None:
+                    cand.pointer = ptr
+                    cand.pointer_ephemeral = True
+        self._index = index
+        return index
+
+    # -- Algorithm 2 lookups -------------------------------------------------------
+
+    def vn_best_match(self, dest: FlatId,
+                      include_ephemeral: bool = True) -> Optional[BestMatch]:
+        """``VN.best_match``: the closest ID to ``dest`` (not past it) among
+        all resident IDs, their successor groups, and parked ephemeral IDs.
+
+        "Closest, not past" on a circle is the candidate minimising the
+        clockwise distance to the destination.
+        """
+        index = self._ensure_index()
+        for cand_id in index.iter_predecessors(dest):
+            cand = index[cand_id]
+            dist = self.space.distance_cw(cand_id, dest)
+            if cand.vn is not None and (include_ephemeral
+                                        or not (cand.vn.ephemeral
+                                                or cand.vn.joining)):
+                return BestMatch(cand_id, None, cand.vn, dist)
+            if cand.pointer is not None and (include_ephemeral
+                                             or not cand.pointer_ephemeral):
+                return BestMatch(cand_id, cand.pointer, None, dist)
+        return None
+
+    def vn_best_match_scan(self, dest: FlatId,
+                           include_ephemeral: bool = True) -> Optional[BestMatch]:
+        """Reference brute-force implementation of :meth:`vn_best_match`;
+        the property tests cross-check the index against it."""
+        best: Optional[BestMatch] = None
+
+        def consider(cand_id: FlatId, pointer: Optional[Pointer],
+                     vn: Optional[VirtualNode]) -> None:
+            nonlocal best
+            dist = self.space.distance_cw(cand_id, dest)
+            if best is None or dist < best.distance or (
+                    dist == best.distance and vn is not None):
+                best = BestMatch(cand_id, pointer, vn, dist)
+
+        for vn in self.vn_table.values():
+            if include_ephemeral or not (vn.ephemeral or vn.joining):
+                consider(vn.id, None, vn)
+            if vn.ephemeral:
+                continue
+            for ptr in vn.successors:
+                consider(ptr.dest_id, ptr, None)
+            if include_ephemeral:
+                for eph_id, ptr in vn.ephemeral_children.items():
+                    consider(eph_id, ptr, None)
+        return best
+
+    def cache_best_match(self, dest: FlatId,
+                         better_than: Optional[int] = None) -> Optional[BestMatch]:
+        """``PC.best_match``, returned only if strictly better (closer to
+        ``dest``) than ``better_than``."""
+        ptr = self.cache.best_match(dest)
+        if ptr is None:
+            return None
+        dist = self.space.distance_cw(ptr.dest_id, dest)
+        if better_than is not None and dist >= better_than:
+            return None
+        return BestMatch(ptr.dest_id, ptr, None, dist)
+
+    def best_match(self, dest: FlatId,
+                   include_ephemeral: bool = True) -> Optional[BestMatch]:
+        """Combined Algorithm 2 decision: VN state first, cache shortcut if
+        it is numerically closer (lines 5–10)."""
+        vn_match = self.vn_best_match(dest, include_ephemeral=include_ephemeral)
+        threshold = vn_match.distance if vn_match is not None else None
+        cache_match = self.cache_best_match(dest, better_than=threshold)
+        return cache_match or vn_match
+
+    # -- pointer upkeep ---------------------------------------------------------------
+
+    def drop_pointer(self, pointer: Pointer) -> None:
+        """Remove a dead pointer wherever this router holds it."""
+        self.cache.invalidate_id(pointer.dest_id)
+        for vn in self.vn_table.values():
+            if vn.drop_successor(pointer.dest_id):
+                self.mark_dirty()
+            if pointer.dest_id in vn.ephemeral_children:
+                del vn.ephemeral_children[pointer.dest_id]
+                self.mark_dirty()
+
+    def reroute_pointer(self, old: Pointer, new: Pointer) -> None:
+        """Swap in a repaired source route for an existing pointer."""
+        self.cache.replace(new)
+        for vn in self.vn_table.values():
+            for i, ptr in enumerate(vn.successors):
+                if ptr is old or ptr.dest_id == new.dest_id:
+                    vn.successors[i] = new
+                    self.mark_dirty()
+            if new.dest_id in vn.ephemeral_children:
+                vn.ephemeral_children[new.dest_id] = new
+                self.mark_dirty()
+            if vn.predecessor is not None and vn.predecessor.dest_id == new.dest_id:
+                vn.predecessor = new
+
+    # -- state accounting (Fig 6c) ---------------------------------------------------
+
+    def state_entries(self, include_cache: bool = True) -> int:
+        total = sum(vn.state_entries() for vn in self.vn_table.values())
+        if include_cache:
+            total += len(self.cache)
+        return total
+
+    def __repr__(self) -> str:
+        return "RoflRouter({!r}, resident={}, cache={})".format(
+            self.name, len(self.vn_table), len(self.cache))

@@ -1,0 +1,96 @@
+"""Shortest-path computation over the live map, with caching.
+
+The hot loops (every source-route setup, every data packet's stretch
+denominator) need hop-count shortest paths; join latency needs
+latency-weighted paths.  Both are cached per source and invalidated by the
+link-state map's ``generation`` counter, so a burst of queries between
+topology changes costs one BFS/Dijkstra per source.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import networkx as nx
+
+from repro.linkstate.lsdb import LinkStateMap
+
+
+class PathCache:
+    """Generation-validated shortest-path oracle over a :class:`LinkStateMap`."""
+
+    def __init__(self, lsmap: LinkStateMap):
+        self.lsmap = lsmap
+        self._generation = -1
+        self._hop_paths: Dict[str, Dict[str, List[str]]] = {}
+        self._latency_dist: Dict[str, Dict[str, float]] = {}
+
+    def _fresh(self) -> None:
+        if self._generation != self.lsmap.generation:
+            self._hop_paths.clear()
+            self._latency_dist.clear()
+            self._generation = self.lsmap.generation
+
+    # -- hop-count metric --------------------------------------------------------
+
+    def _hop_tree(self, src: str) -> Dict[str, List[str]]:
+        self._fresh()
+        tree = self._hop_paths.get(src)
+        if tree is None:
+            if src not in self.lsmap.live_graph:
+                tree = {}
+            else:
+                tree = nx.single_source_shortest_path(self.lsmap.live_graph, src)
+            self._hop_paths[src] = tree
+        return tree
+
+    def hop_path(self, src: str, dst: str) -> Optional[List[str]]:
+        """Fewest-hops router path, or ``None`` when unreachable."""
+        return self._hop_tree(src).get(dst)
+
+    def hop_dist(self, src: str, dst: str) -> Optional[int]:
+        path = self.hop_path(src, dst)
+        return None if path is None else len(path) - 1
+
+    def nearest(self, src: str, candidates) -> Optional[str]:
+        """The reachable candidate fewest hops from ``src``."""
+        best, best_dist = None, None
+        for cand in candidates:
+            dist = self.hop_dist(src, cand)
+            if dist is None:
+                continue
+            if best_dist is None or dist < best_dist:
+                best, best_dist = cand, dist
+        return best
+
+    # -- latency metric ------------------------------------------------------------
+
+    def latency_ms(self, src: str, dst: str) -> Optional[float]:
+        """Latency of the minimum-latency path, or ``None`` if unreachable."""
+        self._fresh()
+        dists = self._latency_dist.get(src)
+        if dists is None:
+            if src not in self.lsmap.live_graph:
+                dists = {}
+            else:
+                dists = nx.single_source_dijkstra_path_length(
+                    self.lsmap.live_graph, src, weight="latency_ms")
+            self._latency_dist[src] = dists
+        return dists.get(dst)
+
+    def path_latency_ms(self, path: List[str]) -> float:
+        """Latency along an explicit source route."""
+        total = 0.0
+        for a, b in zip(path, path[1:]):
+            total += self.lsmap.live_graph.edges[a, b]["latency_ms"]
+        return total
+
+    # -- diameter (used by the join-cost sanity checks) -----------------------------
+
+    def live_diameter(self) -> int:
+        graph = self.lsmap.live_graph
+        if graph.number_of_nodes() == 0:
+            return 0
+        if not nx.is_connected(graph):
+            raise ValueError("live graph is partitioned; diameter undefined")
+        return nx.diameter(graph)

@@ -1,0 +1,36 @@
+"""Section 5 extensions: routing control, enhanced delivery, security.
+
+* :mod:`repro.services.anycast` — ``(G, x)`` group joins; routing toward
+  ``(G, y)`` reaches the first group member encountered.
+* :mod:`repro.services.multicast` — path-painting trees of bidirectional
+  links over the ROFL ring.
+* :mod:`repro.services.security` — default-off reachability, registration
+  and capabilities with lifetimes (TVA-style), path capabilities.
+* :mod:`repro.services.traffic_eng` — endpoint path negotiation over
+  up-hierarchy intersections, multihomed suffix joins, regional
+  sub-rings.
+"""
+
+from repro.services.anycast import AnycastGroup
+from repro.services.anycast_inter import InterAnycastGroup
+from repro.services.auditing import QuotaPolicy, SybilAuditor
+from repro.services.multicast import MulticastGroup
+from repro.services.multicast_inter import InterMulticastGroup
+from repro.services.security import (AccessController, Capability,
+                                     CapabilityAuthority)
+from repro.services.traffic_eng import (MultihomedSuffixJoin,
+                                        negotiate_path_set)
+
+__all__ = [
+    "AnycastGroup",
+    "InterAnycastGroup",
+    "InterMulticastGroup",
+    "QuotaPolicy",
+    "SybilAuditor",
+    "MulticastGroup",
+    "AccessController",
+    "Capability",
+    "CapabilityAuthority",
+    "MultihomedSuffixJoin",
+    "negotiate_path_set",
+]

@@ -1,0 +1,129 @@
+"""Anycast over ROFL (Section 5.2).
+
+"Servers belonging to group G join with ID (G, x). A host may then route
+to (G, y), where y is set arbitrarily. Intermediate routers forward the
+packet towards G, treating all suffixes equally. This results in the
+packet reaching the first server in G for which the packet encounters a
+route.  This style of anycast … requires no additional state or control
+message overhead beyond that of joining the network."
+
+Implementation: group members occupy one contiguous arc of the ring, so
+routing toward any suffix lands inside the group's neighbourhood; the
+sender aims at ``(G, 0)`` (or a caller-chosen suffix for load balancing,
+the i3-style knob the paper mentions) and the packet delivers at the
+first member at-or-after that point — with an early exit whenever the
+packet transits a router hosting *any* member.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.idspace.groups import DEFAULT_GROUP_BITS, GroupId, make_member_id
+from repro.idspace.identifier import FlatId
+from repro.intra import forwarding, ring
+from repro.intra.network import IntraDomainNetwork
+from repro.sim.stats import PathResult
+
+
+class AnycastGroup:
+    """One anycast group in an intradomain ROFL network."""
+
+    def __init__(self, net: IntraDomainNetwork, name: str,
+                 group_bits: int = DEFAULT_GROUP_BITS):
+        self.net = net
+        self.name = name
+        self.group_bits = group_bits
+        self.members: Dict[int, FlatId] = {}  # suffix → member ID
+        self._next_suffix = 0
+
+    def _fresh_suffix(self) -> int:
+        while self._next_suffix in self.members:
+            self._next_suffix += 1
+        return self._next_suffix
+
+    def add_server(self, router: str, suffix: Optional[int] = None) -> FlatId:
+        """Join one server into the group at ``router``."""
+        if suffix is None:
+            suffix = self._fresh_suffix()
+        if suffix in self.members:
+            raise ValueError("suffix {} already in use".format(suffix))
+        member_id = make_member_id(self.name, suffix,
+                                   bits=self.net.space.bits,
+                                   group_bits=self.group_bits)
+        ring.join_with_id(self.net, member_id, router,
+                          "anycast:{}:{}".format(self.name, suffix))
+        self.members[suffix] = member_id
+        return member_id
+
+    def remove_server(self, suffix: int) -> None:
+        if suffix not in self.members:
+            raise KeyError("no member with suffix {}".format(suffix))
+        self.net.fail_host("anycast:{}:{}".format(self.name, suffix))
+        del self.members[suffix]
+
+    def member_ids(self) -> List[FlatId]:
+        return list(self.members.values())
+
+    def _is_member_id(self, flat_id: FlatId) -> bool:
+        gid = GroupId(self.name, 0, bits=self.net.space.bits,
+                      group_bits=self.group_bits)
+        return gid.same_group(flat_id)
+
+    def send(self, src_router: str, suffix: int = 0) -> PathResult:
+        """Anycast one packet from ``src_router`` toward ``(G, suffix)``.
+
+        Varying ``suffix`` steers among members (Section 5.1's
+        traffic-engineering knob); the packet delivers at the first
+        member whose route it encounters.
+        """
+        if not self.members:
+            return PathResult(delivered=False)
+        target = make_member_id(self.name, suffix, bits=self.net.space.bits,
+                                group_bits=self.group_bits)
+        if target not in self.net.vn_index:
+            # Aim at the nearest member at-or-after the chosen suffix (the
+            # "intermediate routers … may vary r" behaviour collapsed to
+            # the sender for a procedural simulation).
+            ordered = sorted(self.members.values())
+            later = [m for m in ordered if m.value >= target.value]
+            target = later[0] if later else ordered[0]
+        outcome = forwarding.route(self.net, src_router, target,
+                                   mode="data", category="anycast")
+        # Early-exit accounting: if the path transited a router hosting a
+        # nearer member, delivery would have happened there; find the
+        # first such router and truncate.
+        if outcome.delivered:
+            for index, router_name in enumerate(outcome.path):
+                router = self.net.routers[router_name]
+                if any(self._is_member_id(rid) for rid in router.vn_table):
+                    truncated = outcome.path[:index + 1]
+                    served = next(rid for rid in router.vn_table
+                                  if self._is_member_id(rid))
+                    dst_router = router_name
+                    optimal = self.net.paths.hop_dist(src_router, dst_router) or 0
+                    return PathResult(delivered=True, path=truncated,
+                                      hops=len(truncated) - 1,
+                                      optimal_hops=optimal,
+                                      pointer_hops=outcome.pointer_hops,
+                                      used_cache=outcome.used_cache)
+        optimal = 0
+        if outcome.delivered and outcome.final_vn is not None:
+            optimal = self.net.paths.hop_dist(src_router,
+                                              outcome.final_vn.router) or 0
+        return PathResult(delivered=outcome.delivered, path=outcome.path,
+                          hops=outcome.hops, optimal_hops=optimal,
+                          pointer_hops=outcome.pointer_hops,
+                          used_cache=outcome.used_cache)
+
+    def nearest_member_distance(self, src_router: str) -> Optional[int]:
+        """Oracle: hop distance to the closest member (for stretch tests)."""
+        best = None
+        for member_id in self.members.values():
+            vn = self.net.vn_index.get(member_id)
+            if vn is None:
+                continue
+            dist = self.net.paths.hop_dist(src_router, vn.router)
+            if dist is not None and (best is None or dist < best):
+                best = dist
+        return best

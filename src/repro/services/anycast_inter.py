@@ -1,0 +1,108 @@
+"""Interdomain anycast (Section 5.2 applied at Internet scale).
+
+The same ``(G, x)`` construction as the intradomain service, over the
+Canon hierarchy: replica operators in different ASes join suffixed group
+identifiers, and a correspondent routing toward any group ID reaches the
+first replica its packet encounters.  Because the members share one
+identifier arc, their pointers interlink across ASes through whatever
+levels each replica joined — anycast costs "no additional state or
+control message overhead beyond that of joining the network".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+from repro.idspace.groups import DEFAULT_GROUP_BITS, GroupId, make_member_id
+from repro.idspace.identifier import FlatId
+from repro.inter.network import InterDomainNetwork
+from repro.inter.policy import JoinStrategy
+from repro.sim.stats import PathResult
+from repro.topology.hosts import PlannedHost
+from repro.idspace.crypto import KeyPair
+
+
+class InterAnycastGroup:
+    """One anycast group spanning multiple ASes."""
+
+    def __init__(self, net: InterDomainNetwork, name: str,
+                 group_bits: int = DEFAULT_GROUP_BITS,
+                 strategy: JoinStrategy = JoinStrategy.MULTIHOMED):
+        self.net = net
+        self.name = name
+        self.group_bits = group_bits
+        self.strategy = strategy
+        self.members: Dict[int, FlatId] = {}
+        self._next_suffix = 0
+
+    def _fresh_suffix(self) -> int:
+        while self._next_suffix in self.members:
+            self._next_suffix += 1
+        return self._next_suffix
+
+    def add_replica(self, asn: Hashable,
+                    suffix: Optional[int] = None) -> FlatId:
+        """Join one replica of the service inside AS ``asn``."""
+        if suffix is None:
+            suffix = self._fresh_suffix()
+        if suffix in self.members:
+            raise ValueError("suffix {} already in use".format(suffix))
+        member_id = make_member_id(self.name, suffix,
+                                   bits=self.net.space.bits,
+                                   group_bits=self.group_bits)
+        host = PlannedHost(
+            name="anycast:{}:{}".format(self.name, suffix),
+            attach_at=asn,
+            key_pair=KeyPair.generate(
+                "anycast:{}:{}".format(self.name, suffix).encode("utf-8"),
+                self.net.authority))
+        self.net.join_host(host, strategy=self.strategy,
+                           flat_id_override=member_id)
+        self.members[suffix] = member_id
+        return member_id
+
+    def member_ases(self) -> List[Hashable]:
+        return [self.net.id_owner_index[m].home_as
+                for m in self.members.values()
+                if m in self.net.id_owner_index]
+
+    def _is_member_id(self, flat_id: FlatId) -> bool:
+        gid = GroupId(self.name, 0, bits=self.net.space.bits,
+                      group_bits=self.group_bits)
+        return gid.same_group(flat_id)
+
+    def send(self, src_as: Hashable, suffix: int = 0) -> PathResult:
+        """Anycast one packet toward ``(G, suffix)`` from ``src_as``."""
+        if not self.members:
+            return PathResult(delivered=False)
+        target = make_member_id(self.name, suffix, bits=self.net.space.bits,
+                                group_bits=self.group_bits)
+        if target not in self.net.id_owner_index:
+            ordered = sorted(self.members.values())
+            later = [m for m in ordered if m.value >= target.value]
+            target = later[0] if later else ordered[0]
+        result = self.net.send_to_id(src_as, target)
+        if not result.delivered:
+            return result
+        # Early exit: delivery happens at the first member-hosting AS the
+        # packet transits.
+        for index, asn in enumerate(result.path):
+            node = self.net.ases[asn]
+            if any(self._is_member_id(hid) for hid in node.hosted):
+                truncated = result.path[:index + 1]
+                optimal = self.net.bgp.policy_distance(src_as, asn) or 0
+                return PathResult(delivered=True, path=truncated,
+                                  hops=len(truncated) - 1,
+                                  optimal_hops=optimal,
+                                  pointer_hops=result.pointer_hops,
+                                  used_cache=result.used_cache)
+        return result
+
+    def nearest_replica_distance(self, src_as: Hashable) -> Optional[int]:
+        """Oracle: policy distance to the closest replica AS."""
+        best = None
+        for asn in self.member_ases():
+            dist = self.net.bgp.policy_distance(src_as, asn)
+            if dist is not None and (best is None or dist < best):
+                best = dist
+        return best

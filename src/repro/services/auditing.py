@@ -1,0 +1,118 @@
+"""Sybil damage control (paper Section 2.1).
+
+"A more subtle attack is the Sybil attack, where-in a compromised router
+may concoct identifiers to gain a larger footprint in the system.
+Damage control against such attacks may be achieved by auditing
+mechanisms within an AS that limit the number of IDs hosted by a
+router."
+
+Two pieces:
+
+* :class:`QuotaPolicy` — the per-router residency limit an AS operator
+  configures, optionally enforced at join time (the gate a well-behaved
+  AS applies before spawning a virtual node);
+* :class:`SybilAuditor` — the sweep that inspects actual router state
+  and reports violations (catching routers that *mis*behave and bypass
+  the gate), plus a footprint report showing how much of the identifier
+  ring each router fronts for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.intra.network import IntraDomainNetwork
+
+
+class QuotaExceeded(Exception):
+    """A join would push a router past its residency quota."""
+
+
+@dataclass
+class QuotaPolicy:
+    """Per-router identifier residency limits."""
+
+    default_limit: int = 64
+    per_router: Dict[str, int] = field(default_factory=dict)
+
+    def limit_for(self, router: str) -> int:
+        return self.per_router.get(router, self.default_limit)
+
+    def admit_join(self, net: "IntraDomainNetwork", router: str) -> None:
+        """The join-time gate: raise if the router is already at quota.
+
+        Counts only host-resident IDs (the router's own default virtual
+        node is not a hosted identifier)."""
+        hosted = sum(1 for vn in net.routers[router].vn_table.values()
+                     if not vn.is_default)
+        if hosted >= self.limit_for(router):
+            raise QuotaExceeded(
+                "router {} already hosts {} IDs (limit {})".format(
+                    router, hosted, self.limit_for(router)))
+
+
+@dataclass
+class AuditFinding:
+    router: str
+    hosted: int
+    limit: int
+
+    @property
+    def excess(self) -> int:
+        return self.hosted - self.limit
+
+
+class SybilAuditor:
+    """AS-internal auditing of per-router identifier footprints."""
+
+    def __init__(self, net: "IntraDomainNetwork",
+                 policy: Optional[QuotaPolicy] = None):
+        self.net = net
+        self.policy = policy or QuotaPolicy()
+
+    def hosted_counts(self) -> Dict[str, int]:
+        return {name: sum(1 for vn in router.vn_table.values()
+                          if not vn.is_default)
+                for name, router in self.net.routers.items()}
+
+    def audit(self) -> List[AuditFinding]:
+        """Routers exceeding their quota, worst first."""
+        findings = [
+            AuditFinding(router=name, hosted=count,
+                         limit=self.policy.limit_for(name))
+            for name, count in self.hosted_counts().items()
+            if count > self.policy.limit_for(name)
+        ]
+        findings.sort(key=lambda f: f.excess, reverse=True)
+        return findings
+
+    def footprint_report(self) -> Dict[str, float]:
+        """Fraction of all hosted identifiers fronted by each router —
+        the "footprint" a Sybil attacker tries to inflate."""
+        counts = self.hosted_counts()
+        total = sum(counts.values())
+        if total == 0:
+            return {name: 0.0 for name in counts}
+        return {name: count / total for name, count in counts.items()}
+
+    def evict_excess(self) -> int:
+        """Remediation: force IDs beyond each router's quota to re-home
+        (deterministically, highest IDs first).  Returns how many were
+        moved."""
+        from repro.intra import mobility
+        moved = 0
+        for finding in self.audit():
+            router = self.net.routers[finding.router]
+            hosted = sorted((vn for vn in router.vn_table.values()
+                             if not vn.is_default and vn.host_name),
+                            key=lambda vn: vn.id, reverse=True)
+            for vn in hosted[:finding.excess]:
+                target = self.net.failover_router(finding.router,
+                                                  vn.host_name)
+                if target is None or target == finding.router:
+                    continue
+                mobility.move_host(self.net, vn.host_name, target)
+                moved += 1
+        return moved

@@ -1,0 +1,160 @@
+"""Multicast over ROFL (Section 5.2).
+
+"A host wishing to join the multicast group G sends an anycast request
+towards a nearby member of G. At each hop, the message adds a pointer
+corresponding to the group pointing back along the reverse path, in a
+manner similar to path-painting. If the message intersects a router that
+is already part of the group, the packet does not traverse any further.
+The end result is a tree composed of bidirectional links. … Routers
+forward a copy of P out all outgoing links for which there are pointers,
+excluding the link on which P was received."
+
+The tree is router-level state: each on-tree router knows its painted
+neighbour links and its locally attached group members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.idspace.groups import DEFAULT_GROUP_BITS, make_member_id
+from repro.intra import ring
+from repro.intra.network import IntraDomainNetwork
+
+
+@dataclass
+class DeliveryReport:
+    """Outcome of one multicast transmission."""
+
+    messages: int
+    receivers: Set[str] = field(default_factory=set)   # member names reached
+    routers_touched: Set[str] = field(default_factory=set)
+
+
+class MulticastGroup:
+    """One multicast group: painted tree plus member bookkeeping."""
+
+    def __init__(self, net: IntraDomainNetwork, name: str,
+                 group_bits: int = DEFAULT_GROUP_BITS):
+        self.net = net
+        self.name = name
+        self.group_bits = group_bits
+        #: Painted bidirectional tree links per router.
+        self.tree_links: Dict[str, Set[str]] = {}
+        #: Locally attached members per router: router → set of member names.
+        self.local_members: Dict[str, Set[str]] = {}
+        self.members: Dict[str, str] = {}  # member name → router
+        self._anchor_joined = False
+
+    # -- membership -----------------------------------------------------------------
+
+    def on_tree(self, router: str) -> bool:
+        return router in self.tree_links or router in self.local_members
+
+    def join(self, member_name: str, router: str) -> int:
+        """Join ``member_name`` at ``router``; returns the message cost of
+        painting the branch."""
+        if member_name in self.members:
+            raise ValueError("member {!r} already joined".format(member_name))
+        cost = 0
+        if not self._anchor_joined:
+            # The first member anchors the group on the ring under (G, 0)
+            # so later anycast joins have something to route toward.
+            anchor = make_member_id(self.name, 0, bits=self.net.space.bits,
+                                    group_bits=self.group_bits)
+            receipt = ring.join_with_id(self.net, anchor, router,
+                                        "mcast-anchor:" + self.name)
+            cost += receipt.messages
+            self._anchor_joined = True
+            self._paint_local(router)
+        else:
+            cost += self._paint_branch(router)
+        self.members[member_name] = router
+        self.local_members.setdefault(router, set()).add(member_name)
+        return cost
+
+    def _paint_local(self, router: str) -> None:
+        self.local_members.setdefault(router, set())
+        self.tree_links.setdefault(router, set())
+
+    def _paint_branch(self, new_router: str) -> int:
+        """Anycast toward the nearest on-tree router, painting back-
+        pointers; stops at the first on-tree intersection."""
+        if self.on_tree(new_router):
+            self._paint_local(new_router)
+            return 0
+        tree_routers = [r for r in set(self.tree_links) | set(self.local_members)
+                        if self.net.lsmap.is_router_up(r)]
+        nearest = self.net.paths.nearest(new_router, tree_routers)
+        if nearest is None:
+            raise RuntimeError("multicast tree unreachable from " + new_router)
+        path = self.net.paths.hop_path(new_router, nearest)
+        existing = set(self.tree_links) | set(self.local_members)
+        painted = 0
+        for a, b in zip(path, path[1:]):
+            self.tree_links.setdefault(a, set()).add(b)
+            self.tree_links.setdefault(b, set()).add(a)
+            painted += 1
+            if b in existing:
+                # "If the message intersects a router that is already part
+                # of the group, the packet does not traverse any further."
+                break
+        self.net.stats.charge_hops(painted, "multicast-join")
+        self._paint_local(new_router)
+        return painted
+
+    def leave(self, member_name: str) -> None:
+        """Remove a member; prune now-useless leaf branches."""
+        router = self.members.pop(member_name, None)
+        if router is None:
+            raise KeyError("unknown member {!r}".format(member_name))
+        locals_here = self.local_members.get(router, set())
+        locals_here.discard(member_name)
+        self._prune_leaves()
+
+    def _prune_leaves(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for router in list(self.tree_links):
+                links = self.tree_links[router]
+                has_members = bool(self.local_members.get(router))
+                if not has_members and len(links) <= 1:
+                    for nbr in links:
+                        self.tree_links[nbr].discard(router)
+                    del self.tree_links[router]
+                    self.local_members.pop(router, None)
+                    changed = True
+
+    # -- data plane ---------------------------------------------------------------------
+
+    def multicast(self, from_member: str) -> DeliveryReport:
+        """Flood one packet along the tree from a member's router."""
+        if from_member not in self.members:
+            raise KeyError("unknown member {!r}".format(from_member))
+        origin = self.members[from_member]
+        report = DeliveryReport(messages=0)
+        # BFS over painted links, never re-crossing the arrival link.
+        frontier: List[Tuple[str, Optional[str]]] = [(origin, None)]
+        seen: Set[str] = set()
+        while frontier:
+            router, came_from = frontier.pop()
+            if router in seen:
+                continue
+            seen.add(router)
+            report.routers_touched.add(router)
+            for member in self.local_members.get(router, ()):  # delivery
+                report.receivers.add(member)
+            for nbr in self.tree_links.get(router, ()):  # fan-out
+                if nbr == came_from or nbr in seen:
+                    continue
+                if not self.net.lsmap.is_link_up(router, nbr):
+                    continue
+                report.messages += 1
+                frontier.append((nbr, router))
+        self.net.stats.charge_hops(report.messages, "multicast")
+        return report
+
+    def tree_edge_count(self) -> int:
+        return sum(len(v) for v in self.tree_links.values()) // 2

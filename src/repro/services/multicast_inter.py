@@ -1,0 +1,135 @@
+"""Interdomain multicast (Section 5.2 at Internet scale).
+
+The same path-painting construction as the intradomain service, at AS
+granularity: a joining member anycasts toward a nearby member; each AS
+the join message crosses paints a back-pointer for the group; the result
+is "a tree composed of bidirectional links" over policy-valid AS paths.
+Data floods along painted links only, so a multicast to N member ASes
+costs one copy per tree edge rather than N unicast AS paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.inter.network import InterDomainNetwork
+
+
+@dataclass
+class InterDeliveryReport:
+    messages: int
+    receivers: Set[str] = field(default_factory=set)
+    ases_touched: Set[Hashable] = field(default_factory=set)
+
+
+class InterMulticastGroup:
+    """One multicast group whose members live in different ASes."""
+
+    def __init__(self, net: InterDomainNetwork, name: str):
+        self.net = net
+        self.name = name
+        self.tree_links: Dict[Hashable, Set[Hashable]] = {}
+        self.local_members: Dict[Hashable, Set[str]] = {}
+        self.members: Dict[str, Hashable] = {}
+
+    def on_tree(self, asn: Hashable) -> bool:
+        return asn in self.tree_links or asn in self.local_members
+
+    def join(self, member_name: str, asn: Hashable) -> int:
+        """Join a member in AS ``asn``; returns the painting cost."""
+        if member_name in self.members:
+            raise ValueError("member {!r} already joined".format(member_name))
+        if not self.net.as_is_up(asn):
+            raise ValueError("AS {} is down".format(asn))
+        cost = 0
+        if self.members and not self.on_tree(asn):
+            cost = self._paint_branch(asn)
+        self.tree_links.setdefault(asn, set())
+        self.local_members.setdefault(asn, set()).add(member_name)
+        self.members[member_name] = asn
+        return cost
+
+    def _paint_branch(self, new_as: Hashable) -> int:
+        """Anycast toward the nearest on-tree AS over a policy path,
+        painting back-pointers; stops at the first tree intersection."""
+        tree_ases = [a for a in (set(self.tree_links) | set(self.local_members))
+                     if self.net.as_is_up(a)]
+        best_path: Optional[Tuple[Hashable, ...]] = None
+        for target in sorted(tree_ases, key=str):
+            path = self.net.policy.policy_path(new_as, target)
+            if path is not None and (best_path is None
+                                     or len(path) < len(best_path)):
+                best_path = path
+        if best_path is None:
+            raise RuntimeError("multicast tree unreachable from "
+                               + str(new_as))
+        existing = set(self.tree_links) | set(self.local_members)
+        painted = 0
+        for a, b in zip(best_path, best_path[1:]):
+            self.tree_links.setdefault(a, set()).add(b)
+            self.tree_links.setdefault(b, set()).add(a)
+            painted += 1
+            if b in existing:
+                break
+        self.net.stats.charge_hops(painted, "multicast-join")
+        return painted
+
+    def leave(self, member_name: str) -> None:
+        asn = self.members.pop(member_name, None)
+        if asn is None:
+            raise KeyError("unknown member {!r}".format(member_name))
+        self.local_members.get(asn, set()).discard(member_name)
+        self._prune_leaves()
+
+    def _prune_leaves(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for asn in list(self.tree_links):
+                links = self.tree_links[asn]
+                if not self.local_members.get(asn) and len(links) <= 1:
+                    for nbr in links:
+                        self.tree_links[nbr].discard(asn)
+                    del self.tree_links[asn]
+                    self.local_members.pop(asn, None)
+                    changed = True
+
+    def multicast(self, from_member: str) -> InterDeliveryReport:
+        """Flood one packet along the painted tree."""
+        if from_member not in self.members:
+            raise KeyError("unknown member {!r}".format(from_member))
+        origin = self.members[from_member]
+        report = InterDeliveryReport(messages=0)
+        frontier: List[Tuple[Hashable, Optional[Hashable]]] = [(origin, None)]
+        seen: Set[Hashable] = set()
+        while frontier:
+            asn, came_from = frontier.pop()
+            if asn in seen:
+                continue
+            seen.add(asn)
+            report.ases_touched.add(asn)
+            report.receivers |= self.local_members.get(asn, set())
+            for nbr in self.tree_links.get(asn, ()):
+                if nbr == came_from or nbr in seen:
+                    continue
+                if not self.net.as_is_up(nbr):
+                    continue
+                report.messages += 1
+                frontier.append((nbr, asn))
+        self.net.stats.charge_hops(report.messages, "multicast")
+        return report
+
+    def tree_edge_count(self) -> int:
+        return sum(len(v) for v in self.tree_links.values()) // 2
+
+    def unicast_equivalent_cost(self, from_member: str) -> int:
+        """What delivering by N unicasts would cost (the savings base)."""
+        origin = self.members[from_member]
+        total = 0
+        for asn in set(self.members.values()):
+            if asn == origin:
+                continue
+            dist = self.net.bgp.policy_distance(origin, asn)
+            total += dist or 0
+        return total

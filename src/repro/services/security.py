@@ -1,0 +1,143 @@
+"""Security extensions (Section 5.3).
+
+* **Default off** — "hosts should not by default be reachable from other
+  hosts … we require that hosts explicitly register with their providers
+  and traffic to a host not registered with its provider be dropped."
+* **Capabilities** — "a cryptographic token designating that a particular
+  source (with its own unique identifier) is allowed to contact the
+  destination … associated with a lifetime", granted by the destination
+  and verified against its self-certifying identifier.
+* **Path capabilities** — "restrict communication along the AS-level
+  path(s) to a destination", the fine-grained pushback/DDoS-limiting
+  mechanism.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, Optional, Set, Tuple
+
+from repro.idspace.crypto import KeyPair, SignatureAuthority
+from repro.idspace.identifier import FlatId
+
+
+@dataclass(frozen=True)
+class Capability:
+    """A destination-granted, lifetime-bounded permission token."""
+
+    src_id: FlatId
+    dst_id: FlatId
+    expires_at: float
+    #: Optional AS-level path restriction (``None`` = any policy path).
+    allowed_ases: Optional[FrozenSet[Hashable]]
+    signature: bytes
+
+    def describe(self) -> str:
+        scope = ("any path" if self.allowed_ases is None
+                 else "{} ASes".format(len(self.allowed_ases)))
+        return "Capability({} → {}, until {}, {})".format(
+            self.src_id, self.dst_id, self.expires_at, scope)
+
+
+def _capability_message(src_id: FlatId, dst_id: FlatId, expires_at: float,
+                        allowed_ases: Optional[FrozenSet[Hashable]]) -> bytes:
+    h = hashlib.sha256()
+    h.update(src_id.to_hex().encode())
+    h.update(dst_id.to_hex().encode())
+    h.update(repr(expires_at).encode())
+    if allowed_ases is not None:
+        for asn in sorted(allowed_ases, key=str):
+            h.update(str(asn).encode())
+    return h.digest()
+
+
+class CapabilityAuthority:
+    """Grants and verifies capabilities for one destination key pair."""
+
+    def __init__(self, dst_key: KeyPair,
+                 authority: Optional[SignatureAuthority] = None):
+        self.dst_key = dst_key
+        self.authority = authority or dst_key.authority
+        self._revoked: Set[bytes] = set()
+
+    def grant(self, src_id: FlatId, expires_at: float,
+              allowed_ases: Optional[Set[Hashable]] = None) -> Capability:
+        """The destination's route-setup response: permission for
+        ``src_id`` to reach it until ``expires_at``."""
+        frozen = frozenset(allowed_ases) if allowed_ases is not None else None
+        message = _capability_message(src_id, self.dst_key.flat_id,
+                                      expires_at, frozen)
+        return Capability(src_id=src_id, dst_id=self.dst_key.flat_id,
+                          expires_at=expires_at, allowed_ases=frozen,
+                          signature=self.dst_key.sign(message))
+
+    def revoke(self, capability: Capability) -> None:
+        self._revoked.add(capability.signature)
+
+    def verify(self, capability: Capability, now: float,
+               claimed_src: FlatId,
+               as_path: Optional[Tuple[Hashable, ...]] = None) -> bool:
+        """The data-plane check: "Only with a proper capability will the
+        data plane forward the data packets"."""
+        if capability.signature in self._revoked:
+            return False
+        if capability.dst_id != self.dst_key.flat_id:
+            return False
+        if claimed_src != capability.src_id:
+            return False
+        if now > capability.expires_at:
+            return False
+        message = _capability_message(capability.src_id, capability.dst_id,
+                                      capability.expires_at,
+                                      capability.allowed_ases)
+        if not self.authority.verify(self.dst_key.public_key, message,
+                                     capability.signature):
+            return False
+        if capability.allowed_ases is not None and as_path is not None:
+            if not all(asn in capability.allowed_ases for asn in as_path):
+                return False
+        return True
+
+
+class AccessController:
+    """Default-off reachability for one provider/hosting domain.
+
+    Tracks registration ("hosts explicitly register with their
+    providers") and the pointer-construction allow-list ("the host … can
+    control pointer construction to limit which other hosts are allowed
+    to reach it").
+    """
+
+    def __init__(self) -> None:
+        self._registered: Set[FlatId] = set()
+        self._allow: dict = {}  # dst_id → set of src ids (None = open)
+
+    def register(self, host_id: FlatId,
+                 allowed_sources: Optional[Set[FlatId]] = None) -> None:
+        self._registered.add(host_id)
+        self._allow[host_id] = (set(allowed_sources)
+                                if allowed_sources is not None else None)
+
+    def deregister(self, host_id: FlatId) -> None:
+        self._registered.discard(host_id)
+        self._allow.pop(host_id, None)
+
+    def is_registered(self, host_id: FlatId) -> bool:
+        return host_id in self._registered
+
+    def allow_source(self, dst_id: FlatId, src_id: FlatId) -> None:
+        allowed = self._allow.get(dst_id)
+        if allowed is None:
+            self._allow[dst_id] = {src_id}
+        else:
+            allowed.add(src_id)
+
+    def admit(self, src_id: FlatId, dst_id: FlatId) -> Tuple[bool, str]:
+        """The provider-side drop decision for one packet."""
+        if dst_id not in self._registered:
+            return False, "destination not registered (default off)"
+        allowed = self._allow.get(dst_id)
+        if allowed is not None and src_id not in allowed:
+            return False, "source not on destination's allow-list"
+        return True, "admitted"

@@ -1,0 +1,87 @@
+"""A minimal, deterministic discrete-event loop.
+
+Events fire in (time, insertion-order) order, so two events scheduled for
+the same instant run in the order they were scheduled — determinism the
+test-suite relies on.  The loop supports cancellation and a bounded run
+(``run(until=...)``) used to model timeouts.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback; comparable by (time, seq) for the heap."""
+
+    time: float
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventLoop:
+    """Heap-based event scheduler with virtual time."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list = []
+        self._counter = itertools.count()
+        self.events_run = 0
+
+    def schedule(self, delay: float, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule in the past")
+        event = Event(self.now + delay, next(self._counter), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], Any]) -> Event:
+        return self.schedule(time - self.now, callback)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` when idle."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns False when idle."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback()
+            self.events_run += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Drain events; stop at virtual time ``until`` or after
+        ``max_events`` callbacks.  Returns how many events ran."""
+        ran = 0
+        while True:
+            if max_events is not None and ran >= max_events:
+                break
+            next_time = self.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = until
+                break
+            self.step()
+            ran += 1
+        return ran
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)

@@ -1,0 +1,87 @@
+"""Message vocabulary for protocol-level (event-driven) simulations.
+
+The procedural simulations charge hop counts directly; the event-driven
+paths (join latency, failure timers) exchange these dataclasses through
+:class:`repro.sim.engine.EventLoop`-scheduled deliveries.  Keeping the
+vocabulary in one place also documents the control-plane surface of ROFL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Tuple
+
+from repro.idspace.identifier import FlatId
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class: every message travels between two routers."""
+
+    src: Hashable
+    dst: Hashable
+
+
+@dataclass(frozen=True)
+class JoinRequest(Message):
+    """A host (via its hosting router) asks to join the ring (Algorithm 1)."""
+
+    joining_id: FlatId = None
+    #: Routers traversed so far; the paper caches these en route and the
+    #: hosting router of the destination stores the list for consistency.
+    route_record: Tuple[Hashable, ...] = ()
+
+
+@dataclass(frozen=True)
+class JoinResponse(Message):
+    """Carries the discovered predecessor/successor back to the joiner."""
+
+    joining_id: FlatId = None
+    predecessor: Optional[FlatId] = None
+    successors: Tuple[FlatId, ...] = ()
+
+
+@dataclass(frozen=True)
+class PathSetup(Message):
+    """Installs a source-route pointer from one ID to another."""
+
+    from_id: FlatId = None
+    to_id: FlatId = None
+    source_route: Tuple[Hashable, ...] = ()
+
+
+@dataclass(frozen=True)
+class Teardown(Message):
+    """Removes pointers naming a failed ID or traversing a failed router."""
+
+    failed_id: Optional[FlatId] = None
+    failed_router: Optional[Hashable] = None
+
+
+@dataclass(frozen=True)
+class DataPacket(Message):
+    """A data-plane packet routed greedily on its destination ID."""
+
+    dest_id: FlatId = None
+    #: AS-level source route accumulated so far (interdomain, Section 4.1).
+    as_path: Tuple[Hashable, ...] = ()
+    payload: Optional[bytes] = None
+
+
+@dataclass(frozen=True)
+class LinkStateAd(Message):
+    """An OSPF-like LSA; also piggybacks the zero-ID (Section 3.2)."""
+
+    origin: Hashable = None
+    sequence: int = 0
+    neighbors: Tuple[Hashable, ...] = ()
+    zero_id: Optional[FlatId] = None
+
+
+@dataclass
+class DeliveryReceipt:
+    """What an event-driven exchange reports back to the caller."""
+
+    completed_at: float
+    messages: int
+    path: List[Hashable] = field(default_factory=list)

@@ -1,0 +1,267 @@
+"""Synthetic AS-level Internet graphs with policy relationships.
+
+The paper's interdomain evaluation uses "the complete inter-AS topology
+graph sampled from Routeviews" with customer/provider relationships
+inferred by Subramanian et al.'s tool, and "leverages the fact that most
+current policies can be modeled as arising out of a simple hierarchical AS
+graph" (Section 2.3).  Offline, we generate tiered power-law AS graphs
+with *explicit* relationship annotations:
+
+* **customer-provider** — the customer pays the provider for transit;
+* **peer** — settlement-free, traffic between the two ASes' customers only;
+* **backup** — a provider link used only when the primary fails
+  (Section 4.2: "We treat multi-homing links as backup links" option).
+
+Multihoming arises naturally: any AS with more than one provider is
+multihomed.  Host counts are assigned by :class:`repro.topology.hosts`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.util.rng import derive_rng, sample_zipf_counts
+
+
+class Relationship(enum.Enum):
+    """Business relationship annotating one AS-level adjacency."""
+
+    CUSTOMER_PROVIDER = "cp"
+    PEER = "peer"
+    BACKUP = "backup"
+
+
+class ASGraph:
+    """An annotated AS-level topology.
+
+    Internally an undirected multigraph-free graph whose edges carry a
+    :class:`Relationship` plus, for directional relationships, which
+    endpoint is the provider.
+    """
+
+    def __init__(self) -> None:
+        self.graph = nx.Graph()
+
+    # -- construction -------------------------------------------------------
+
+    def add_as(self, asn: Hashable, tier: int = 3, hosts: int = 0) -> None:
+        if asn in self.graph:
+            raise ValueError("duplicate AS {!r}".format(asn))
+        self.graph.add_node(asn, tier=tier, hosts=hosts)
+
+    def add_customer_provider(self, customer: Hashable, provider: Hashable,
+                              backup: bool = False) -> None:
+        """Add a transit link: ``customer`` buys transit from ``provider``."""
+        self._check_nodes(customer, provider)
+        rel = Relationship.BACKUP if backup else Relationship.CUSTOMER_PROVIDER
+        self.graph.add_edge(customer, provider, rel=rel, provider=provider)
+
+    def add_peering(self, a: Hashable, b: Hashable) -> None:
+        self._check_nodes(a, b)
+        self.graph.add_edge(a, b, rel=Relationship.PEER, provider=None)
+
+    def _check_nodes(self, *asns: Hashable) -> None:
+        for asn in asns:
+            if asn not in self.graph:
+                raise KeyError("unknown AS {!r}".format(asn))
+        if len(set(asns)) != len(asns):
+            raise ValueError("self-relationship")
+
+    def set_hosts(self, asn: Hashable, hosts: int) -> None:
+        self.graph.nodes[asn]["hosts"] = hosts
+
+    # -- relationship queries -------------------------------------------------
+
+    def ases(self) -> List[Hashable]:
+        return list(self.graph.nodes)
+
+    @property
+    def n_ases(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def tier(self, asn: Hashable) -> int:
+        return self.graph.nodes[asn]["tier"]
+
+    def hosts(self, asn: Hashable) -> int:
+        return self.graph.nodes[asn].get("hosts", 0)
+
+    def _related(self, asn: Hashable, rel: Relationship,
+                 as_provider: Optional[bool] = None) -> List[Hashable]:
+        out = []
+        for nbr in self.graph.neighbors(asn):
+            data = self.graph.edges[asn, nbr]
+            if data["rel"] is not rel:
+                continue
+            if as_provider is True and data["provider"] != nbr:
+                continue
+            if as_provider is False and data["provider"] != asn:
+                continue
+            out.append(nbr)
+        return out
+
+    def providers(self, asn: Hashable) -> List[Hashable]:
+        """Primary (non-backup) providers of ``asn``."""
+        return self._related(asn, Relationship.CUSTOMER_PROVIDER, as_provider=True)
+
+    def backup_providers(self, asn: Hashable) -> List[Hashable]:
+        return self._related(asn, Relationship.BACKUP, as_provider=True)
+
+    def customers(self, asn: Hashable,
+                  include_backup: bool = True) -> List[Hashable]:
+        out = self._related(asn, Relationship.CUSTOMER_PROVIDER,
+                            as_provider=False)
+        if include_backup:
+            out += self._related(asn, Relationship.BACKUP, as_provider=False)
+        return out
+
+    def peers(self, asn: Hashable) -> List[Hashable]:
+        return self._related(asn, Relationship.PEER)
+
+    def relationship(self, a: Hashable, b: Hashable) -> Optional[Relationship]:
+        if not self.graph.has_edge(a, b):
+            return None
+        return self.graph.edges[a, b]["rel"]
+
+    def is_provider_of(self, provider: Hashable, customer: Hashable) -> bool:
+        if not self.graph.has_edge(provider, customer):
+            return False
+        data = self.graph.edges[provider, customer]
+        return (data["rel"] in (Relationship.CUSTOMER_PROVIDER, Relationship.BACKUP)
+                and data["provider"] == provider)
+
+    def stubs(self) -> List[Hashable]:
+        """ASes with no customers — the unstable edge of the Internet."""
+        return [asn for asn in self.graph if not self.customers(asn)]
+
+    def tier1(self) -> List[Hashable]:
+        """ASes with no providers at all (primary or backup)."""
+        return [asn for asn in self.graph
+                if not self.providers(asn) and not self.backup_providers(asn)]
+
+    def links(self) -> Iterable[Tuple[Hashable, Hashable, Relationship]]:
+        for a, b, data in self.graph.edges(data=True):
+            yield a, b, data["rel"]
+
+    def multihomed(self) -> List[Hashable]:
+        return [asn for asn in self.graph
+                if len(self.providers(asn)) + len(self.backup_providers(asn)) > 1]
+
+    def validate(self) -> None:
+        """Check the annotation invariants the routing layer relies on."""
+        if self.n_ases == 0:
+            raise ValueError("empty AS graph")
+        if not nx.is_connected(self.graph):
+            raise ValueError("AS graph is not connected")
+        # The provider relation must be acyclic (it is a hierarchy).
+        dag = nx.DiGraph()
+        dag.add_nodes_from(self.graph.nodes)
+        for a, b, data in self.graph.edges(data=True):
+            if data["rel"] in (Relationship.CUSTOMER_PROVIDER, Relationship.BACKUP):
+                customer = a if data["provider"] == b else b
+                dag.add_edge(customer, data["provider"])
+        if not nx.is_directed_acyclic_graph(dag):
+            raise ValueError("customer-provider relation contains a cycle")
+        # Every non-tier-1 AS must reach some tier-1 via provider links.
+        tier1 = set(self.tier1())
+        if not tier1:
+            raise ValueError("no tier-1 ASes")
+
+    def __repr__(self) -> str:
+        return "ASGraph(ases={}, links={})".format(
+            self.n_ases, self.graph.number_of_edges())
+
+
+def synthetic_as_graph(
+    n_ases: int = 100,
+    seed: int = 0,
+    tier1_count: Optional[int] = None,
+    tier2_fraction: float = 0.22,
+    multihome_prob: float = 0.35,
+    second_provider_backup_prob: float = 0.3,
+    tier2_peering_prob: float = 0.15,
+    total_hosts: int = 100_000,
+    zipf_exponent: float = 1.0,
+) -> ASGraph:
+    """Generate a tiered Internet-like AS graph.
+
+    Structure: a tier-1 clique (full peering mesh), a tier-2 transit layer
+    buying from tier-1 (peering among themselves with
+    ``tier2_peering_prob``), and a stub layer buying from tier-2/tier-1.
+    ``multihome_prob`` of non-tier-1 ASes take a second provider; a
+    fraction of those second links are *backup* relationships.  Host
+    counts follow a Zipf law over stubs and tier-2 ASes (DESIGN.md §3.2).
+    """
+    if n_ases < 4:
+        raise ValueError("need at least 4 ASes")
+    rng = derive_rng(seed, "asgraph", n_ases)
+    asg = ASGraph()
+
+    if tier1_count is None:
+        tier1_count = max(3, n_ases // 25)
+    n_tier2 = max(2, int(n_ases * tier2_fraction))
+    n_stub = n_ases - tier1_count - n_tier2
+    if n_stub < 1:
+        raise ValueError("n_ases too small for the requested tier fractions")
+
+    tier1 = ["T1-{}".format(i) for i in range(tier1_count)]
+    tier2 = ["T2-{}".format(i) for i in range(n_tier2)]
+    stubs = ["S-{}".format(i) for i in range(n_stub)]
+
+    for asn in tier1:
+        asg.add_as(asn, tier=1)
+    for asn in tier2:
+        asg.add_as(asn, tier=2)
+    for asn in stubs:
+        asg.add_as(asn, tier=3)
+
+    # Tier-1 full peering mesh.
+    for i, a in enumerate(tier1):
+        for b in tier1[i + 1:]:
+            asg.add_peering(a, b)
+
+    # Tier-2 buy transit from tier-1 (preferentially from low-index T1s,
+    # mimicking the uneven size of real tier-1s).
+    t1_weights = [1.0 / (i + 1) for i in range(tier1_count)]
+    for asn in tier2:
+        _attach_providers(asg, rng, asn, tier1, t1_weights,
+                          multihome_prob, second_provider_backup_prob)
+
+    # Stubs buy transit mostly from tier-2, occasionally directly tier-1.
+    t2_weights = [1.0 / (i + 1) for i in range(n_tier2)]
+    for asn in stubs:
+        if rng.random() < 0.1:
+            _attach_providers(asg, rng, asn, tier1, t1_weights,
+                              multihome_prob, second_provider_backup_prob)
+        else:
+            _attach_providers(asg, rng, asn, tier2, t2_weights,
+                              multihome_prob, second_provider_backup_prob)
+
+    # Lateral tier-2 peering.
+    for i, a in enumerate(tier2):
+        for b in tier2[i + 1:]:
+            if rng.random() < tier2_peering_prob:
+                asg.add_peering(a, b)
+
+    # Hosts: Zipf over stubs + tier-2 (transit cores host few endpoints).
+    bearers = stubs + tier2
+    counts = sample_zipf_counts(rng, len(bearers), total_hosts, zipf_exponent)
+    for asn, count in zip(bearers, counts):
+        asg.set_hosts(asn, count)
+
+    asg.validate()
+    return asg
+
+
+def _attach_providers(asg: ASGraph, rng, asn, candidates, weights,
+                      multihome_prob: float, backup_prob: float) -> None:
+    primary = rng.choices(candidates, weights=weights, k=1)[0]
+    asg.add_customer_provider(asn, primary)
+    if rng.random() < multihome_prob and len(candidates) > 1:
+        second = primary
+        while second == primary:
+            second = rng.choices(candidates, weights=weights, k=1)[0]
+        asg.add_customer_provider(asn, second,
+                                  backup=rng.random() < backup_prob)

@@ -1,0 +1,105 @@
+"""Host populations (the CAIDA-skitter substitute, DESIGN.md §3.2).
+
+The paper estimates hosts per AS/ISP from skitter traces normalised to a
+600 M-host Internet; we reproduce the *shape* (a highly uneven, Zipf-like
+spread) with a configurable total, and provide deterministic host
+generation: each planned host has a stable seed, so identical experiment
+seeds give identical populations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator, List, Optional
+
+from repro.idspace.crypto import KeyPair, SignatureAuthority
+from repro.idspace.identifier import FlatId
+from repro.util.rng import derive_rng, sample_zipf_counts
+
+#: The Internet size the paper normalises to (Section 6.1).
+PAPER_INTERNET_HOSTS = 600_000_000
+
+
+@dataclass(frozen=True)
+class PlannedHost:
+    """One host the experiment will join: where it attaches and its keys."""
+
+    name: str
+    attach_at: Hashable          # router (intradomain) or AS (interdomain)
+    key_pair: KeyPair
+    ephemeral: bool = False
+
+    @property
+    def flat_id(self) -> FlatId:
+        return self.key_pair.flat_id
+
+
+class HostPlan:
+    """Deterministic host population for one experiment.
+
+    ``attachment_points`` is the list of places hosts can live (edge
+    routers for intradomain, host-bearing ASes for interdomain) with an
+    optional weight per point (e.g. the AS's skitter-style host count).
+    """
+
+    def __init__(
+        self,
+        attachment_points: List[Hashable],
+        seed: int = 0,
+        weights: Optional[List[float]] = None,
+        ephemeral_fraction: float = 0.0,
+        authority: Optional[SignatureAuthority] = None,
+    ):
+        if not attachment_points:
+            raise ValueError("no attachment points")
+        if weights is not None and len(weights) != len(attachment_points):
+            raise ValueError("weights length mismatch")
+        if not 0.0 <= ephemeral_fraction <= 1.0:
+            raise ValueError("ephemeral_fraction out of range")
+        self.attachment_points = list(attachment_points)
+        self.weights = list(weights) if weights is not None else None
+        self.seed = seed
+        self.ephemeral_fraction = ephemeral_fraction
+        self.authority = authority or SignatureAuthority()
+        self._rng = derive_rng(seed, "hostplan")
+        self._made = 0
+
+    def next_host(self) -> PlannedHost:
+        """Mint the next host deterministically."""
+        index = self._made
+        self._made += 1
+        if self.weights is not None:
+            attach = self._rng.choices(self.attachment_points,
+                                       weights=self.weights, k=1)[0]
+        else:
+            attach = self._rng.choice(self.attachment_points)
+        name = "h{}".format(index)
+        key = KeyPair.generate(
+            seed="{}:{}".format(self.seed, name).encode("utf-8"),
+            authority=self.authority)
+        ephemeral = self._rng.random() < self.ephemeral_fraction
+        return PlannedHost(name=name, attach_at=attach, key_pair=key,
+                           ephemeral=ephemeral)
+
+    def take(self, n: int) -> List[PlannedHost]:
+        return [self.next_host() for _ in range(n)]
+
+    def __iter__(self) -> Iterator[PlannedHost]:
+        while True:
+            yield self.next_host()
+
+
+def scale_down(paper_count: int, paper_total: int = PAPER_INTERNET_HOSTS,
+               sim_total: int = 10_000) -> int:
+    """Scale a paper-reported host count to simulation size, keeping the
+    per-AS/ISP proportions (at least 1 host for any nonzero count)."""
+    if paper_count <= 0:
+        return 0
+    return max(1, round(paper_count * sim_total / paper_total))
+
+
+def zipf_host_counts(n_bins: int, total: int, seed: int = 0,
+                     exponent: float = 1.0) -> List[int]:
+    """Zipf-distributed host counts for ``n_bins`` attachment points."""
+    rng = derive_rng(seed, "zipf-hosts", n_bins, total)
+    return sample_zipf_counts(rng, n_bins, total, exponent)

@@ -1,0 +1,137 @@
+"""A sorted circular map over :class:`FlatId` keys.
+
+Rings, virtual-node tables and pointer caches all need the same three
+queries, each in ``O(log n)``:
+
+* ``successor(id)`` — the next key clockwise (wrapping), Chord convention:
+  the smallest key strictly greater than ``id``, else the smallest key.
+* ``predecessor(id)`` — the previous key counter-clockwise.
+* ``closest_not_past(current, dest)`` — the greedy next hop of Algorithm 2.
+
+The paper notes the last query is cheap on real hardware: "given a list of
+IDs in sorted order, the closest namespace distance match is either the
+shortest prefix match or the one right before it in the sorted list"
+(Section 3.3).  We implement exactly that: a bisect into the sorted key
+list and an inspection of the neighbouring entry.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.idspace.identifier import FlatId, RingSpace
+
+
+class SortedRingMap:
+    """Map from :class:`FlatId` to arbitrary values with circular queries."""
+
+    def __init__(self, space: RingSpace):
+        self.space = space
+        self._keys: List[FlatId] = []
+        self._values: Dict[FlatId, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: FlatId) -> bool:
+        return key in self._values
+
+    def __iter__(self) -> Iterator[FlatId]:
+        return iter(self._keys)
+
+    def __getitem__(self, key: FlatId) -> Any:
+        return self._values[key]
+
+    def get(self, key: FlatId, default: Any = None) -> Any:
+        return self._values.get(key, default)
+
+    def items(self) -> Iterator[Tuple[FlatId, Any]]:
+        for key in self._keys:
+            yield key, self._values[key]
+
+    def keys(self) -> List[FlatId]:
+        return list(self._keys)
+
+    def insert(self, key: FlatId, value: Any = None) -> None:
+        """Insert or replace the value stored at ``key``."""
+        if key not in self._values:
+            bisect.insort(self._keys, key)
+        self._values[key] = value
+
+    def remove(self, key: FlatId) -> Any:
+        """Remove ``key``; raises ``KeyError`` if absent."""
+        value = self._values.pop(key)  # KeyError propagates
+        index = bisect.bisect_left(self._keys, key)
+        del self._keys[index]
+        return value
+
+    def discard(self, key: FlatId) -> None:
+        if key in self._values:
+            self.remove(key)
+
+    def successor(self, key: FlatId, strict: bool = True) -> Optional[FlatId]:
+        """The next key clockwise from ``key`` (wrapping).
+
+        With ``strict=False`` a stored key equal to ``key`` is returned
+        as its own successor, which is the lookup used when routing *to*
+        an identifier.
+        """
+        if not self._keys:
+            return None
+        if strict:
+            index = bisect.bisect_right(self._keys, key)
+        else:
+            index = bisect.bisect_left(self._keys, key)
+        return self._keys[index % len(self._keys)]
+
+    def predecessor(self, key: FlatId, strict: bool = True) -> Optional[FlatId]:
+        """The previous key counter-clockwise from ``key`` (wrapping)."""
+        if not self._keys:
+            return None
+        if strict:
+            index = bisect.bisect_left(self._keys, key) - 1
+        else:
+            index = bisect.bisect_right(self._keys, key) - 1
+        return self._keys[index % len(self._keys)]
+
+    def closest_not_past(self, current: FlatId, dest: FlatId) -> Optional[FlatId]:
+        """Greedy best match: the stored key closest to ``dest`` without
+        passing it, and strictly past ``current``.  ``None`` if no key
+        makes progress.
+        """
+        if not self._keys:
+            return None
+        # The best admissible key is the predecessor of dest (allowing
+        # equality): it is the closest key counter-clockwise of dest.
+        candidate = self.predecessor(dest, strict=False)
+        if candidate is None:
+            return None
+        if self.space.progress(current, candidate, dest):
+            return candidate
+        return None
+
+    def iter_predecessors(self, key: FlatId) -> Iterator[FlatId]:
+        """Yield stored keys counter-clockwise starting at ``key`` itself
+        (if stored) or its predecessor, wrapping once around the ring."""
+        if not self._keys:
+            return
+        start = (bisect.bisect_right(self._keys, key) - 1) % len(self._keys)
+        for offset in range(len(self._keys)):
+            yield self._keys[(start - offset) % len(self._keys)]
+
+    def in_arc(self, low: FlatId, high: FlatId) -> List[FlatId]:
+        """All stored keys on the clockwise arc ``[low, high]`` inclusive."""
+        if not self._keys:
+            return []
+        if low <= high:
+            lo = bisect.bisect_left(self._keys, low)
+            hi = bisect.bisect_right(self._keys, high)
+            return self._keys[lo:hi]
+        # Wrapping arc: [low, top] + [bottom, high].
+        lo = bisect.bisect_left(self._keys, low)
+        hi = bisect.bisect_right(self._keys, high)
+        return self._keys[lo:] + self._keys[:hi]
+
+    def __repr__(self) -> str:
+        return "SortedRingMap(n={})".format(len(self._keys))

@@ -1,0 +1,69 @@
+"""Deterministic randomness helpers.
+
+Every experiment in the harness is seeded; sub-seeds are derived with
+:func:`derive_rng` so that adding a new consumer of randomness never
+perturbs the streams of existing ones (no shared global RNG state).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import List, Sequence
+
+
+def stable_hash(*parts) -> int:
+    """A process-independent 64-bit hash (unlike builtin ``hash``)."""
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(repr(part).encode("utf-8"))
+        h.update(b"\x00")
+    return int.from_bytes(h.digest()[:8], "big")
+
+
+def derive_rng(seed, *scope) -> random.Random:
+    """A fresh :class:`random.Random` keyed on ``(seed, *scope)``.
+
+    ``scope`` labels the consumer (e.g. ``("topology", isp_name)``) so each
+    subsystem gets an independent stream from one experiment seed.
+    """
+    return random.Random(stable_hash(seed, *scope))
+
+
+def zipf_weights(n: int, exponent: float = 1.0) -> List[float]:
+    """Normalised Zipf weights ``w_k ∝ 1/k^exponent`` for ranks 1..n.
+
+    Used to spread hosts over ASes/ISPs: the paper observes "a highly
+    uneven distribution of hosts across ASes in the Internet" and uses
+    skitter traces to estimate it; a Zipf law is the standard synthetic
+    stand-in.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    raw = [1.0 / (k ** exponent) for k in range(1, n + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def weighted_choice(rng: random.Random, items: Sequence, weights: Sequence[float]):
+    """Pick one item according to ``weights`` (need not be normalised)."""
+    if len(items) != len(weights):
+        raise ValueError("items and weights must have equal length")
+    return rng.choices(list(items), weights=list(weights), k=1)[0]
+
+
+def sample_zipf_counts(rng: random.Random, n_bins: int, total: int,
+                       exponent: float = 1.0) -> List[int]:
+    """Split ``total`` items over ``n_bins`` bins with Zipf popularity.
+
+    Bin order is shuffled so that bin index does not correlate with size.
+    Every bin receives at least zero; the counts always sum to ``total``.
+    """
+    weights = zipf_weights(n_bins, exponent)
+    rng.shuffle(weights)
+    counts = [int(w * total) for w in weights]
+    # Distribute the rounding remainder one by one to random bins.
+    shortfall = total - sum(counts)
+    for _ in range(shortfall):
+        counts[rng.randrange(n_bins)] += 1
+    return counts

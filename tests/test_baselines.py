@@ -1,0 +1,79 @@
+"""CMU-ETHERNET and OSPF baselines."""
+
+import pytest
+
+from repro.baselines.cmu_ethernet import CmuEthernetNetwork
+from repro.baselines.ospf_routing import OspfHostRouting
+from repro.intra.network import IntraDomainNetwork
+from repro.topology.isp import synthetic_isp
+
+
+@pytest.fixture()
+def topo():
+    return synthetic_isp(n_routers=50, seed=2)
+
+
+class TestCmuEthernet:
+    def test_join_floods_every_link(self, topo):
+        net = CmuEthernetNetwork(topo, seed=0)
+        cost = net.join_host(net._plan.next_host())
+        assert cost >= 2 * topo.n_links - max(
+            dict(topo.graph.degree()).values())
+
+    def test_memory_is_all_hosts_everywhere(self, topo):
+        net = CmuEthernetNetwork(topo, seed=0)
+        net.join_random_hosts(30)
+        mem = net.memory_entries_per_router()
+        assert all(v == 30 for v in mem.values())
+
+    def test_delivery_is_shortest_path(self, topo):
+        net = CmuEthernetNetwork(topo, seed=0)
+        net.join_random_hosts(10)
+        names = sorted(net.hosts)
+        result = net.send(names[0], names[1])
+        assert result.delivered
+        assert result.stretch == 1.0
+
+    def test_join_overhead_ratio_vs_rofl(self, topo):
+        """The Fig 5a headline: CMU-ETHERNET needs far more messages."""
+        rofl = IntraDomainNetwork(topo, seed=0)
+        cmu = CmuEthernetNetwork(topo, seed=0)
+        rofl.join_random_hosts(200)
+        cmu.join_random_hosts(200)
+        ratio = (cmu.stats.total_messages("join")
+                 / rofl.stats.total_messages("join"))
+        assert ratio > 3
+
+    def test_memory_ratio_vs_rofl(self, topo):
+        rofl = IntraDomainNetwork(topo, seed=0)
+        cmu = CmuEthernetNetwork(topo, seed=0)
+        rofl.join_random_hosts(300)
+        cmu.join_random_hosts(300)
+        rofl_mem = rofl.memory_entries_per_router(include_cache=False)
+        cmu_mem = cmu.memory_entries_per_router()
+        ratio = (sum(cmu_mem.values()) / len(cmu_mem)) / \
+                (sum(rofl_mem.values()) / len(rofl_mem))
+        assert ratio > 3
+
+
+class TestOspf:
+    def test_shortest_path_delivery(self, topo):
+        ospf = OspfHostRouting(topo)
+        a, b = topo.routers[0], topo.routers[-1]
+        result = ospf.send(a, b)
+        assert result.delivered and result.stretch == 1.0
+
+    def test_load_series_accumulates(self, topo):
+        ospf = OspfHostRouting(topo)
+        pairs = [(topo.routers[i], topo.routers[-1 - i]) for i in range(10)]
+        assert ospf.replay_pairs(pairs) == 10
+        assert sum(ospf.load_series().values()) > 0
+
+    def test_unreachable_when_partitioned(self, topo):
+        from repro.linkstate.lsdb import LinkStateMap
+        lsmap = LinkStateMap(topo)
+        ospf = OspfHostRouting(topo, lsmap=lsmap)
+        victim = topo.routers[5]
+        lsmap.fail_router(victim)
+        result = ospf.send(topo.routers[0], victim)
+        assert not result.delivered

@@ -1,0 +1,34 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "ROFL" in out and "SIGCOMM 2006" in out
+
+
+def test_figures_single(capsys):
+    assert main(["figures", "--only", "fig6b"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 6b" in out and "paper:" in out
+
+
+def test_figures_unknown_prefix(capsys):
+    assert main(["figures", "--only", "fig99"]) == 2
+    assert "no figure matches" in capsys.readouterr().err
+
+
+def test_quickstart(capsys):
+    assert main(["quickstart"]) == 0
+    out = capsys.readouterr().out
+    assert "ring consistent" in out
+    assert "reconverged" in out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,92 @@
+"""Self-certifying identity tests: only the key holder can join its ID."""
+
+import pytest
+
+from repro.idspace.crypto import (KeyPair, OwnershipProof, SignatureAuthority,
+                                  SpoofedIdentityError, authenticate)
+from repro.idspace.identifier import FlatId
+
+
+@pytest.fixture()
+def authority():
+    return SignatureAuthority()
+
+
+def test_id_is_hash_of_public_key(authority):
+    kp = KeyPair.generate(b"alice", authority)
+    assert kp.flat_id == FlatId.from_bytes(kp.public_key)
+
+
+def test_generation_is_deterministic(authority):
+    a = KeyPair.generate(b"alice", authority)
+    b = KeyPair.generate(b"alice", authority)
+    assert a.public_key == b.public_key
+    assert a.flat_id == b.flat_id
+
+
+def test_distinct_seeds_give_distinct_ids(authority):
+    ids = {KeyPair.generate(str(i).encode(), authority).flat_id
+           for i in range(50)}
+    assert len(ids) == 50
+
+
+def test_valid_proof_authenticates(authority):
+    kp = KeyPair.generate(b"alice", authority)
+    proof = kp.prove_ownership(b"challenge-1")
+    assert authenticate(proof, authority) == kp.flat_id
+
+
+def test_claimed_id_must_match_public_key(authority):
+    alice = KeyPair.generate(b"alice", authority)
+    mallory = KeyPair.generate(b"mallory", authority)
+    proof = mallory.prove_ownership(b"c")
+    forged = OwnershipProof(claimed_id=alice.flat_id,
+                            public_key=mallory.public_key,
+                            challenge=proof.challenge,
+                            signature=proof.signature)
+    with pytest.raises(SpoofedIdentityError):
+        authenticate(forged, authority)
+
+
+def test_signature_must_match_challenge(authority):
+    kp = KeyPair.generate(b"alice", authority)
+    proof = kp.prove_ownership(b"challenge-1")
+    replayed = OwnershipProof(claimed_id=proof.claimed_id,
+                              public_key=proof.public_key,
+                              challenge=b"challenge-2",
+                              signature=proof.signature)
+    with pytest.raises(SpoofedIdentityError):
+        authenticate(replayed, authority)
+
+
+def test_attacker_without_private_key_cannot_sign(authority):
+    """An attacker holding only the public key cannot mint a proof."""
+    alice = KeyPair.generate(b"alice", authority)
+    fake_sig = b"\x00" * 32
+    forged = OwnershipProof(claimed_id=alice.flat_id,
+                            public_key=alice.public_key,
+                            challenge=b"c", signature=fake_sig)
+    with pytest.raises(SpoofedIdentityError):
+        authenticate(forged, authority)
+
+
+def test_unknown_public_key_fails_verification(authority):
+    other_authority = SignatureAuthority()
+    kp = KeyPair.generate(b"alice", other_authority)
+    proof = kp.prove_ownership(b"c")
+    with pytest.raises(SpoofedIdentityError):
+        authenticate(proof, authority)  # key never registered here
+
+
+def test_signature_verify_round_trip(authority):
+    kp = KeyPair.generate(b"alice", authority)
+    sig = kp.sign(b"message")
+    assert authority.verify(kp.public_key, b"message", sig)
+    assert not authority.verify(kp.public_key, b"other", sig)
+
+
+def test_authority_rejects_colliding_registration(authority):
+    authority.register(b"pub", b"priv-a")
+    authority.register(b"pub", b"priv-a")  # idempotent re-register is fine
+    with pytest.raises(ValueError):
+        authority.register(b"pub", b"priv-b")

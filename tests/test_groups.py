@@ -1,0 +1,67 @@
+"""Group identifier (G, x) tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.idspace.groups import (DEFAULT_GROUP_BITS, GroupId, group_prefix,
+                                  make_member_id)
+from repro.idspace.identifier import DEFAULT_BITS
+
+
+def test_members_share_prefix():
+    a = make_member_id("dns", 1)
+    b = make_member_id("dns", 99)
+    gid = GroupId("dns", 0)
+    assert gid.same_group(a) and gid.same_group(b)
+
+
+def test_different_groups_different_prefixes():
+    assert group_prefix("dns") != group_prefix("web")
+
+
+def test_suffix_must_fit():
+    with pytest.raises(ValueError):
+        make_member_id("g", 1 << (DEFAULT_BITS - DEFAULT_GROUP_BITS))
+    with pytest.raises(ValueError):
+        make_member_id("g", -1)
+
+
+def test_group_bits_validation():
+    with pytest.raises(ValueError):
+        group_prefix("g", bits=128, group_bits=128)
+    with pytest.raises(ValueError):
+        group_prefix("g", bits=128, group_bits=0)
+
+
+def test_arc_bounds_cover_exactly_the_group():
+    gid = GroupId("metrics", 0)
+    low, high = gid.arc_bounds()
+    assert gid.same_group(low) and gid.same_group(high)
+    assert low == make_member_id("metrics", 0)
+    # One past the top of the arc is a different group prefix.
+    from repro.idspace.identifier import FlatId
+    outside = FlatId(high.value + 1)
+    assert not gid.same_group(outside)
+
+
+def test_flat_id_matches_make_member_id():
+    gid = GroupId("svc", 7)
+    assert gid.flat_id == make_member_id("svc", 7)
+
+
+@given(st.text(min_size=1, max_size=20),
+       st.integers(min_value=0, max_value=(1 << 32) - 1))
+def test_member_ids_parse_back_to_suffix(name, suffix):
+    member = make_member_id(name, suffix)
+    gid = GroupId(name, suffix)
+    assert gid.same_group(member)
+    suffix_bits = DEFAULT_BITS - DEFAULT_GROUP_BITS
+    assert member.value & ((1 << suffix_bits) - 1) == suffix
+
+
+@given(st.text(min_size=1, max_size=20))
+def test_arc_is_contiguous(name):
+    gid = GroupId(name, 0)
+    low, high = gid.arc_bounds()
+    assert high.value - low.value == (1 << (DEFAULT_BITS - DEFAULT_GROUP_BITS)) - 1

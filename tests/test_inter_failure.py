@@ -1,0 +1,99 @@
+"""Interdomain failure handling: stub AS failures (§6.3)."""
+
+import random
+
+import pytest
+
+from repro.inter.network import InterDomainNetwork
+from repro.topology.asgraph import synthetic_as_graph
+
+
+@pytest.fixture()
+def net():
+    graph = synthetic_as_graph(n_ases=60, seed=30)
+    net = InterDomainNetwork(graph, n_fingers=6, seed=30)
+    net.join_random_hosts(150)
+    return net
+
+
+def populated_stub(net):
+    return next(s for s in net.asg.stubs() if len(net.ases[s].hosted) > 0)
+
+
+def test_rings_heal_after_stub_failure(net):
+    stub = populated_stub(net)
+    net.fail_as(stub)
+    net.check_rings()
+
+
+def test_dead_ids_removed_everywhere(net):
+    stub = populated_stub(net)
+    dead = {vn.id for vn in net.ases[stub].hosted.values()}
+    net.fail_as(stub)
+    for flat_id in dead:
+        assert flat_id not in net.id_owner_index
+        for ring in net.rings.values():
+            assert flat_id not in ring
+    for node in net.ases.values():
+        for vn in node.hosted.values():
+            for ptr in vn.candidate_pointers():
+                assert ptr.dest_id not in dead
+                assert stub not in ptr.as_route
+
+
+def test_survivors_still_reachable(net):
+    stub = populated_stub(net)
+    net.fail_as(stub)
+    for _ in range(50):
+        a, b = net.random_host_pair()
+        result = net.send(a, b)
+        assert result.delivered
+        assert stub not in result.path
+
+
+def test_repair_cost_scales_with_resident_ids(net):
+    """Paper: repair messages "roughly correspond to the number of
+    identifiers hosted in the failed stub AS"."""
+    stub = populated_stub(net)
+    ids = len(net.ases[stub].hosted)
+    messages = net.fail_as(stub)
+    assert messages > 0
+    assert messages <= 60 * ids  # per-ID repair is a handful of exchanges
+
+
+def test_double_failure_is_idempotent(net):
+    stub = populated_stub(net)
+    net.fail_as(stub)
+    assert net.fail_as(stub) == 0
+
+
+def test_sequential_failures_keep_converging(net):
+    rng = random.Random(0)
+    stubs = [s for s in net.asg.stubs() if len(net.ases[s].hosted) > 0]
+    rng.shuffle(stubs)
+    for stub in stubs[:4]:
+        net.fail_as(stub)
+        net.check_rings()
+
+
+def test_restore_allows_rejoining(net):
+    stub = populated_stub(net)
+    net.fail_as(stub)
+    net.restore_as(stub)
+    host = net.next_planned_host()
+    while host.attach_at != stub:
+        host = net.next_planned_host()
+    receipt = net.join_host(host)
+    assert receipt.home_as == stub
+    net.check_rings()
+    a = host.name
+    b = next(n for n in net.hosts if n != a)
+    assert net.send(b, a).delivered
+
+
+def test_bgp_tables_invalidate_on_failure(net):
+    stub = populated_stub(net)
+    other = next(s for s in net.asg.ases() if s != stub)
+    net.bgp.policy_distance(other, stub)
+    net.fail_as(stub)
+    assert not net.bgp._tables

@@ -1,0 +1,97 @@
+"""Proximity finger tables (Section 4.1)."""
+
+import pytest
+
+from repro.idspace.identifier import FlatId
+from repro.inter.fingers import (lowest_containing_level, slot_arc,
+                                 up_links_between)
+from repro.inter.network import InterDomainNetwork
+from repro.inter.policy import JoinStrategy
+from repro.topology.asgraph import synthetic_as_graph
+
+
+class TestSlotArcs:
+    def test_arc_shares_prefix_and_digit(self):
+        fid = FlatId(0xABCD << 112)
+        low, high = slot_arc(fid, row=1, digit=0x3)
+        assert low.digit(0, 4) == 0xA
+        assert low.digit(1, 4) == 0x3
+        assert high.value - low.value == (1 << 120) - 1
+
+    def test_row_zero_partitions_space(self):
+        fid = FlatId(0)
+        covered = 0
+        for digit in range(16):
+            low, high = slot_arc(fid, 0, digit)
+            covered += high.value - low.value + 1
+        assert covered == 1 << 128
+
+    def test_out_of_range_row(self):
+        with pytest.raises(ValueError):
+            slot_arc(FlatId(0), row=32, digit=0)
+
+
+class TestFingerAcquisition:
+    @pytest.fixture()
+    def net(self, inter_net_factory):
+        return inter_net_factory(n_hosts=120, n_fingers=12, seed=8)
+
+    def test_fingers_acquired_up_to_budget(self, net):
+        for vn in net.hosts.values():
+            assert len(vn.fingers) <= 12
+
+    def test_fingers_spread_over_digits(self, net):
+        vn = max(net.hosts.values(), key=lambda v: len(v.fingers))
+        digits = {f.dest_id.digit(0, 4) for f in vn.fingers}
+        assert len(digits) >= min(6, len(vn.fingers))
+
+    def test_finger_targets_exist(self, net):
+        for vn in net.hosts.values():
+            for f in vn.fingers:
+                assert f.dest_id in net.id_owner_index
+                assert net.id_owner_index[f.dest_id].home_as == f.dest_as
+
+    def test_finger_level_preserves_isolation(self, net):
+        """Each finger is formed at the lowest joined level containing its
+        target — the table maintenance rule that preserves isolation."""
+        for vn in list(net.hosts.values())[:30]:
+            for f in vn.fingers:
+                if f.level is None:
+                    continue
+                assert net.policy.level_contains(f.level, f.dest_as)
+                expected = lowest_containing_level(net, vn, f.dest_as)
+                assert len(net.policy.subtree(f.level)) == \
+                    len(net.policy.subtree(expected))
+
+    def test_ephemeral_strategy_skips_fingers(self, inter_net_factory):
+        net = inter_net_factory(n_hosts=40, n_fingers=12, seed=9,
+                                strategy=JoinStrategy.EPHEMERAL)
+        assert all(len(vn.fingers) == 0 for vn in net.hosts.values())
+
+
+class TestProximity:
+    def test_up_links_metric(self, inter_net_readonly):
+        net = inter_net_readonly
+        stub = net.asg.stubs()[0]
+        provider = net.asg.providers(stub)[0]
+        ups, hops = up_links_between(net, stub, provider)
+        assert (ups, hops) == (1, 1)
+        assert up_links_between(net, stub, stub) == (0, 0)
+
+    def test_proximity_choice_beats_random_on_stretch(self):
+        """Ablation: proximity-selected fingers give lower mean stretch
+        than no fingers at all, and fingers with more slots do better."""
+        def stretch_for(n_fingers, seed=22):
+            graph = synthetic_as_graph(n_ases=60, seed=seed)
+            net = InterDomainNetwork(graph, n_fingers=n_fingers, seed=seed)
+            net.join_random_hosts(100)
+            vals = []
+            for _ in range(120):
+                a, b = net.random_host_pair()
+                r = net.send(a, b)
+                if r.delivered and r.optimal_hops > 0:
+                    vals.append(r.stretch)
+            return sum(vals) / len(vals)
+        none = stretch_for(0)
+        many = stretch_for(20)
+        assert many < none

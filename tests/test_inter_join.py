@@ -1,0 +1,145 @@
+"""Interdomain joining (Algorithm 3): strategies, condition (b), oracle
+agreement, bootstrap."""
+
+import pytest
+
+from repro.inter import routing
+from repro.inter.canon import InterJoinError
+from repro.inter.network import InterDomainNetwork
+from repro.inter.policy import JoinStrategy
+from repro.topology.asgraph import synthetic_as_graph
+from repro.topology.hosts import PlannedHost
+
+
+class TestJoinBasics:
+    def test_rings_consistent_under_every_strategy(self, inter_net_factory):
+        for strategy in JoinStrategy:
+            net = inter_net_factory(n_hosts=0, strategy=strategy, n_fingers=4)
+            net.join_random_hosts(80)
+            net.check_rings()
+            assert net.lookup_mismatches == 0
+
+    def test_distributed_lookups_agree_with_oracle(self, inter_net_readonly):
+        assert inter_net_readonly.lookup_mismatches == 0
+
+    def test_receipt_fields(self, inter_net_factory):
+        net = inter_net_factory(n_hosts=0, n_fingers=6)
+        host = net.next_planned_host()
+        receipt = net.join_host(host)
+        assert receipt.flat_id == host.flat_id
+        assert receipt.home_as == host.attach_at
+        assert receipt.messages > 0
+        assert receipt.levels_joined >= 2
+        assert receipt.fingers <= 6
+
+    def test_duplicate_id_rejected(self, inter_net_factory):
+        net = inter_net_factory(n_hosts=0)
+        host = net.next_planned_host()
+        net.join_host(host)
+        with pytest.raises(InterJoinError):
+            net.join_host(PlannedHost(name="dup", attach_at=host.attach_at,
+                                      key_pair=host.key_pair))
+
+    def test_join_via_failed_as_rejected(self, inter_net_factory):
+        net = inter_net_factory(n_hosts=10)
+        host = net.next_planned_host()
+        net.fail_as(host.attach_at)
+        with pytest.raises(InterJoinError):
+            net.join_host(host)
+
+
+class TestStrategyCosts:
+    def test_paper_ordering_of_join_costs(self):
+        """Fig 8a: ephemeral < single-homed ≤ multihomed < peering."""
+        means = {}
+        for strategy in JoinStrategy:
+            graph = synthetic_as_graph(n_ases=60, seed=12)
+            net = InterDomainNetwork(graph, n_fingers=4, seed=12,
+                                     strategy=strategy)
+            receipts = net.join_random_hosts(100)
+            means[strategy] = sum(r.messages for r in receipts) / 100
+        assert means[JoinStrategy.EPHEMERAL] < means[JoinStrategy.SINGLE_HOMED]
+        assert means[JoinStrategy.SINGLE_HOMED] <= \
+            means[JoinStrategy.MULTIHOMED] * 1.05
+        assert means[JoinStrategy.MULTIHOMED] < means[JoinStrategy.PEERING]
+
+    def test_multihomed_not_much_more_than_single(self):
+        """"Surprisingly … the cost of a multi-homed join is not
+        significantly larger than that of a single-homed join" thanks to
+        redundant-lookup elimination."""
+        graph = synthetic_as_graph(n_ases=60, seed=13)
+        single = InterDomainNetwork(graph, n_fingers=0, seed=13,
+                                    strategy=JoinStrategy.SINGLE_HOMED)
+        single.join_random_hosts(100)
+        graph2 = synthetic_as_graph(n_ases=60, seed=13)
+        multi = InterDomainNetwork(graph2, n_fingers=0, seed=13,
+                                   strategy=JoinStrategy.MULTIHOMED)
+        multi.join_random_hosts(100)
+        s = sum(single.stats.operation_costs("join")) / 100
+        m = sum(multi.stats.operation_costs("join")) / 100
+        assert m < 1.6 * s
+
+    def test_more_fingers_cost_more_messages(self, inter_net_factory):
+        lean = inter_net_factory(n_hosts=60, n_fingers=2, seed=3)
+        rich = inter_net_factory(n_hosts=60, n_fingers=24, seed=3)
+        lean_cost = sum(lean.stats.operation_costs("join")) / 60
+        rich_cost = sum(rich.stats.operation_costs("join")) / 60
+        assert rich_cost > lean_cost
+
+
+class TestConditionB:
+    def test_state_is_logarithmic_not_linear(self, inter_net_readonly):
+        """Condition (b) keeps per-ID pointer state O(log n): far fewer
+        stored successors than joined levels in the typical case."""
+        net = inter_net_readonly
+        total_levels = 0
+        total_stored = 0
+        for vn in net.hosts.values():
+            total_levels += len(vn.joined_levels)
+            total_stored += len(vn.succ_by_level)
+        assert total_stored < total_levels
+
+    def test_effective_successor_covers_unstored_levels(self, inter_net_readonly):
+        net = inter_net_readonly
+        for vn in list(net.hosts.values())[:40]:
+            for level in vn.joined_levels:
+                eff = routing.effective_successor(net, vn, level)
+                ring = net.ring_at(level)
+                if len(ring) < 2:
+                    continue
+                assert eff is not None
+                assert eff.dest_id == ring.successor(vn.id)
+
+
+class TestBootstrapRegistry:
+    def test_first_host_in_empty_internet(self, inter_net_factory):
+        net = inter_net_factory(n_hosts=0)
+        receipt = net.join_host(net.next_planned_host())
+        assert receipt.messages >= 0
+        net.check_rings()
+
+    def test_second_host_reaches_first(self, inter_net_factory):
+        net = inter_net_factory(n_hosts=0)
+        h1 = net.next_planned_host()
+        h2 = net.next_planned_host()
+        net.join_host(h1)
+        net.join_host(h2)
+        net.check_rings()
+        assert net.send(h1.name, h2.name).delivered
+        assert net.send(h2.name, h1.name).delivered
+
+
+class TestPointerRoutes:
+    def test_pointer_routes_are_valley_free(self, inter_net_readonly):
+        net = inter_net_readonly
+        for vn in list(net.hosts.values())[:50]:
+            for ptr in vn.candidate_pointers():
+                assert net.policy.route_is_valley_free(ptr.as_route)
+                assert ptr.as_route[0] == vn.home_as
+
+    def test_scoped_pointers_stay_in_level_subtree(self, inter_net_readonly):
+        net = inter_net_readonly
+        for vn in list(net.hosts.values())[:50]:
+            for level, ptr in vn.succ_by_level.items():
+                subtree = net.policy.subtree(level)
+                assert all(asn in subtree for asn in ptr.as_route)

@@ -1,0 +1,181 @@
+"""Interdomain data routing: delivery, isolation, caches, bloom peering."""
+
+import pytest
+
+from repro.idspace.identifier import FlatId
+from repro.inter import routing
+from repro.inter.network import InterDomainNetwork
+from repro.inter.policy import JoinStrategy
+from repro.topology.asgraph import synthetic_as_graph
+
+
+class TestDelivery:
+    def test_many_pairs_deliver(self, inter_net_readonly):
+        net = inter_net_readonly
+        for _ in range(80):
+            a, b = net.random_host_pair()
+            result = net.send(a, b)
+            assert result.delivered
+
+    def test_path_endpoints(self, inter_net_readonly):
+        net = inter_net_readonly
+        a, b = net.random_host_pair()
+        result = net.send(a, b)
+        assert result.path[0] == net.hosts[a].home_as
+        assert result.path[-1] == net.hosts[b].home_as
+
+    def test_path_hops_are_real_adjacencies(self, inter_net_readonly):
+        net = inter_net_readonly
+        a, b = net.random_host_pair()
+        result = net.send(a, b)
+        for x, y in zip(result.path, result.path[1:]):
+            assert net.policy.step_type(x, y) is not None
+
+    def test_same_as_delivery(self, inter_net_factory):
+        net = inter_net_factory(n_hosts=0)
+        h1 = net.next_planned_host()
+        h2 = net.next_planned_host()
+        while h2.attach_at != h1.attach_at:
+            h2 = net.next_planned_host()
+        net.join_host(h1)
+        net.join_host(h2)
+        result = net.send(h1.name, h2.name)
+        assert result.delivered and result.hops == 0
+
+    def test_nonexistent_id_fails(self, inter_net_readonly):
+        net = inter_net_readonly
+        missing = FlatId(0x1234_5678_9ABC)
+        assert missing not in net.id_owner_index
+        result = net.send_to_id(net.asg.ases()[0], missing)
+        assert not result.delivered
+
+
+class TestIsolation:
+    def test_isolation_holds_on_every_delivered_path(self, inter_net_readonly):
+        """The paper: "we verified there were no cases in any of our
+        experiments when the isolation property was broken"."""
+        net = inter_net_readonly
+        for _ in range(150):
+            a, b = net.random_host_pair()
+            result = net.send(a, b)
+            if result.delivered:
+                assert net.check_isolation(net.hosts[a].home_as,
+                                           net.hosts[b].home_as, result.path)
+
+    def test_intra_as_traffic_stays_internal(self, inter_net_factory):
+        """"As a corollary, traffic internal to an AS stays internal."""
+        net = inter_net_factory(n_hosts=0, seed=21)
+        h1 = net.next_planned_host()
+        h2 = net.next_planned_host()
+        while h2.attach_at != h1.attach_at:
+            h2 = net.next_planned_host()
+        net.join_host(h1)
+        net.join_host(h2)
+        result = net.send(h1.name, h2.name)
+        assert result.delivered
+        assert set(result.path) == {h1.attach_at}
+
+
+class TestStretch:
+    def test_stretch_vs_bgp_reasonable(self, inter_net_readonly):
+        net = inter_net_readonly
+        stretches = []
+        for _ in range(120):
+            a, b = net.random_host_pair()
+            result = net.send(a, b)
+            if result.delivered and result.optimal_hops > 0:
+                stretches.append(result.stretch)
+        mean = sum(stretches) / len(stretches)
+        assert 1.0 <= mean < 5.0  # the paper's regime is ~2-3
+
+    def test_fingers_reduce_stretch(self):
+        def mean_stretch(n_fingers, seed=15):
+            graph = synthetic_as_graph(n_ases=60, seed=seed)
+            net = InterDomainNetwork(graph, n_fingers=n_fingers, seed=seed)
+            net.join_random_hosts(120)
+            vals = []
+            for _ in range(150):
+                a, b = net.random_host_pair()
+                r = net.send(a, b)
+                if r.delivered and r.optimal_hops > 0:
+                    vals.append(r.stretch)
+            return sum(vals) / len(vals)
+        assert mean_stretch(16) < mean_stretch(0)
+
+
+class TestCaches:
+    def test_caches_enabled_reduce_or_keep_stretch(self):
+        def run(cache):
+            graph = synthetic_as_graph(n_ases=60, seed=16)
+            net = InterDomainNetwork(graph, n_fingers=4, seed=16,
+                                     cache_entries=cache)
+            net.join_random_hosts(120)
+            vals = []
+            for _ in range(150):
+                a, b = net.random_host_pair()
+                r = net.send(a, b)
+                if r.delivered and r.optimal_hops > 0:
+                    vals.append(r.stretch)
+            return sum(vals) / len(vals)
+        assert run(2048) <= run(0) + 0.05
+
+    def test_cache_guarded_by_bloom_isolation(self, inter_net_factory):
+        """A cached pointer must not be used when the destination is
+        below the caching AS (Section 4.1's isolation guard)."""
+        net = inter_net_factory(n_hosts=60, cache_entries=512, seed=17)
+        # Find a transit AS with cache entries and a destination below it.
+        for asn, node in net.ases.items():
+            subtree = net.policy.subtree(asn)
+            below = [vn for vn in net.hosts.values()
+                     if vn.home_as in subtree and vn.home_as != asn]
+            if len(node.cache) and below:
+                match = node._cache_match(net, below[0].id, None, None, None)
+                if below[0].id in node.subtree_bloom:
+                    assert match is None
+                break
+
+
+class TestBloomPeering:
+    def test_bloom_mode_delivers(self, inter_net_factory):
+        net = inter_net_factory(n_hosts=100, peering_mode="bloom",
+                                strategy=JoinStrategy.PEERING, seed=18,
+                                n_fingers=4)
+        delivered = 0
+        for _ in range(60):
+            a, b = net.random_host_pair()
+            delivered += net.send(a, b).delivered
+        assert delivered == 60
+
+    def test_bloom_mode_joins_cost_less_than_virtual_as(self):
+        g1 = synthetic_as_graph(n_ases=60, seed=19)
+        vas = InterDomainNetwork(g1, n_fingers=4, seed=19,
+                                 strategy=JoinStrategy.PEERING,
+                                 peering_mode="virtual_as")
+        vas.join_random_hosts(80)
+        g2 = synthetic_as_graph(n_ases=60, seed=19)
+        blm = InterDomainNetwork(g2, n_fingers=4, seed=19,
+                                 strategy=JoinStrategy.PEERING,
+                                 peering_mode="bloom")
+        blm.join_random_hosts(80)
+        assert (sum(blm.stats.operation_costs("join"))
+                < sum(vas.stats.operation_costs("join")))
+
+    def test_invalid_mode_rejected(self, as_graph):
+        with pytest.raises(ValueError):
+            InterDomainNetwork(as_graph, peering_mode="nope")
+
+
+class TestScopedRouting:
+    def test_scoped_lookup_stays_in_subtree(self, inter_net_readonly):
+        net = inter_net_readonly
+        # Pick a tier-2 level with a populated ring.
+        for level, ring in net.rings.items():
+            if isinstance(level, str) and level.startswith("T2") and len(ring) > 3:
+                probe = FlatId(ring.keys()[1].value + 1)
+                outcome = routing.route(net, ring[ring.keys()[0]].home_as,
+                                        probe, mode="lookup", scope=level,
+                                        category="test", use_cache=False)
+                if outcome.delivered:
+                    subtree = net.policy.subtree(level)
+                    assert all(asn in subtree for asn in outcome.as_path)
+                break

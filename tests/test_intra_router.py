@@ -1,0 +1,177 @@
+"""Hosting router: virtual-node table, candidate index, Algorithm 2 lookups."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.idspace.identifier import FlatId, RingSpace
+from repro.intra.router import RoflRouter
+from repro.intra.virtualnode import Pointer, VirtualNode
+
+SPACE = RingSpace(bits=16)
+
+
+def make_router(cache_entries=8):
+    return RoflRouter("r0", SPACE, cache_entries=cache_entries)
+
+
+def vn(value, router="r0", ephemeral=False):
+    return VirtualNode(id=SPACE.make(value), router=router,
+                       host_name="h{}".format(value), ephemeral=ephemeral)
+
+
+def succ(value, path=("r0", "r1")):
+    return Pointer(SPACE.make(value), tuple(path), "successor")
+
+
+class TestVnTable:
+    def test_default_vn_always_present(self):
+        router = make_router()
+        assert router.default_vn.id in router.vn_table
+        assert router.default_vn.is_default
+
+    def test_register_and_remove(self):
+        router = make_router()
+        node = vn(100)
+        router.register_virtual_node(node)
+        assert router.hosts_id(SPACE.make(100))
+        router.remove_virtual_node(SPACE.make(100))
+        assert not router.hosts_id(SPACE.make(100))
+
+    def test_duplicate_registration_rejected(self):
+        router = make_router()
+        router.register_virtual_node(vn(100))
+        with pytest.raises(ValueError):
+            router.register_virtual_node(vn(100))
+
+    def test_foreign_vn_rejected(self):
+        router = make_router()
+        with pytest.raises(ValueError):
+            router.register_virtual_node(vn(5, router="other"))
+
+    def test_cannot_remove_default_vn(self):
+        router = make_router()
+        with pytest.raises(ValueError):
+            router.remove_virtual_node(router.default_vn.id)
+
+    def test_resident_vns_filters_ephemeral(self):
+        router = make_router()
+        router.register_virtual_node(vn(1, ephemeral=True))
+        assert len(router.resident_vns()) == 2
+        assert len(router.resident_vns(include_ephemeral=False)) == 1
+
+
+class TestBestMatch:
+    def test_local_resident_wins_on_exact_distance(self):
+        router = make_router()
+        node = vn(100)
+        router.register_virtual_node(node)
+        match = router.best_match(SPACE.make(100))
+        assert match.is_local and match.resident_vn is node
+
+    def test_successor_pointers_are_candidates(self):
+        router = make_router()
+        node = vn(100)
+        node.successors = [succ(200)]
+        router.register_virtual_node(node)
+        match = router.best_match(SPACE.make(210))
+        assert match.dest_id.value == 200 and not match.is_local
+
+    def test_ephemeral_children_visible_only_to_data(self):
+        router = make_router()
+        node = vn(100)
+        node.ephemeral_children[SPACE.make(150)] = Pointer(
+            SPACE.make(150), ("r0", "r9"), "ephemeral")
+        router.register_virtual_node(node)
+        data = router.vn_best_match(SPACE.make(150), include_ephemeral=True)
+        assert data.dest_id.value == 150
+        ctl = router.vn_best_match(SPACE.make(150), include_ephemeral=False)
+        assert ctl.dest_id.value == 100
+
+    def test_ephemeral_residents_skipped_in_lookup(self):
+        router = make_router()
+        router.register_virtual_node(vn(100, ephemeral=True))
+        match = router.vn_best_match(SPACE.make(100), include_ephemeral=False)
+        assert match.dest_id.value != 100
+
+    def test_cache_shortcut_only_when_strictly_closer(self):
+        router = make_router()
+        node = vn(100)
+        node.successors = [succ(150)]
+        router.register_virtual_node(node)
+        router.cache.put(Pointer(SPACE.make(180), ("r0", "r2"), "cache"))
+        match = router.best_match(SPACE.make(190))
+        assert match.dest_id.value == 180 and match.pointer.kind == "cache"
+        # Cache not closer than VN state → VN wins.
+        router.cache.put(Pointer(SPACE.make(120), ("r0", "r2"), "cache"))
+        match = router.best_match(SPACE.make(151))
+        assert match.dest_id.value == 150
+
+    def test_index_invalidation_on_mutation(self):
+        router = make_router()
+        node = vn(100)
+        router.register_virtual_node(node)
+        assert router.best_match(SPACE.make(300)).dest_id.value == 100
+        node.successors = [succ(250)]
+        router.mark_dirty()
+        assert router.best_match(SPACE.make(300)).dest_id.value == 250
+
+
+class TestPointerUpkeep:
+    def test_drop_pointer_everywhere(self):
+        router = make_router()
+        node = vn(100)
+        node.successors = [succ(200)]
+        router.register_virtual_node(node)
+        router.cache.put(Pointer(SPACE.make(200), ("r0", "r1"), "cache"))
+        router.drop_pointer(succ(200))
+        assert node.successors == []
+        assert SPACE.make(200) not in router.cache
+
+    def test_reroute_pointer(self):
+        router = make_router()
+        node = vn(100)
+        old = succ(200, path=("r0", "dead", "r1"))
+        node.successors = [old]
+        router.register_virtual_node(node)
+        new = succ(200, path=("r0", "r2", "r1"))
+        router.reroute_pointer(old, new)
+        assert node.successors[0].path == ("r0", "r2", "r1")
+
+    def test_state_entries(self):
+        router = make_router()
+        node = vn(100)
+        node.successors = [succ(200), succ(300)]
+        node.predecessor = Pointer(SPACE.make(50), ("r0", "r3"), "predecessor")
+        router.register_virtual_node(node)
+        router.cache.put(Pointer(SPACE.make(1), ("r0", "r1"), "cache"))
+        # default VN (1) + node (1 + 2 succ + 1 pred) + 1 cache entry
+        assert router.state_entries() == 1 + 4 + 1
+        assert router.state_entries(include_cache=False) == 5
+
+
+@settings(max_examples=60)
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=65535),
+                          st.lists(st.integers(min_value=0, max_value=65535),
+                                   max_size=4),
+                          st.booleans()),
+                min_size=0, max_size=8),
+       st.integers(min_value=0, max_value=65535),
+       st.booleans())
+def test_index_matches_reference_scan(specs, dest_v, include_eph):
+    """The O(log n) candidate index must agree with the brute-force scan."""
+    router = make_router(cache_entries=0)
+    for i, (vid, succs, ephemeral) in enumerate(specs):
+        if SPACE.make(vid) in router.vn_table:
+            continue
+        node = vn(vid, ephemeral=ephemeral)
+        if not ephemeral:
+            node.successors = [succ(s) for s in dict.fromkeys(succs)
+                               if s != vid]
+        router.register_virtual_node(node)
+    dest = SPACE.make(dest_v)
+    fast = router.vn_best_match(dest, include_ephemeral=include_eph)
+    slow = router.vn_best_match_scan(dest, include_ephemeral=include_eph)
+    assert (fast is None) == (slow is None)
+    if fast is not None:
+        assert fast.distance == slow.distance

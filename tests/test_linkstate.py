@@ -1,0 +1,154 @@
+"""Link-state substrate: live map, SPF cache, flooding model."""
+
+import pytest
+
+from repro.linkstate.lsdb import EventKind, LinkStateMap, TopologyEvent
+from repro.linkstate.protocol import (FloodModel, OspfTimers,
+                                      flood_latency_ms, flood_message_cost)
+from repro.linkstate.spf import PathCache
+from repro.topology.isp import synthetic_isp
+
+
+@pytest.fixture()
+def lsmap():
+    return LinkStateMap(synthetic_isp(n_routers=30, seed=1))
+
+
+class TestLiveMap:
+    def test_initially_everything_up(self, lsmap):
+        assert len(lsmap.live_routers()) == 30
+        assert len(lsmap.components()) == 1
+
+    def test_link_failure_and_restore(self, lsmap):
+        a, b = next(iter(lsmap.live_graph.edges()))
+        lsmap.fail_link(a, b)
+        assert not lsmap.is_link_up(a, b)
+        lsmap.restore_link(a, b)
+        assert lsmap.is_link_up(a, b)
+
+    def test_router_failure_takes_links_down(self, lsmap):
+        router = lsmap.live_routers()[0]
+        neighbors = list(lsmap.live_graph.neighbors(router))
+        lsmap.fail_router(router)
+        assert not lsmap.is_router_up(router)
+        for nbr in neighbors:
+            assert not lsmap.is_link_up(router, nbr)
+        lsmap.restore_router(router)
+        for nbr in neighbors:
+            assert lsmap.is_link_up(router, nbr)
+
+    def test_independent_link_failure_survives_router_restore(self, lsmap):
+        router = lsmap.live_routers()[0]
+        nbr = next(iter(lsmap.live_graph.neighbors(router)))
+        lsmap.fail_link(router, nbr)
+        lsmap.fail_router(router)
+        lsmap.restore_router(router)
+        assert not lsmap.is_link_up(router, nbr)
+
+    def test_generation_increments(self, lsmap):
+        g0 = lsmap.generation
+        a, b = next(iter(lsmap.live_graph.edges()))
+        lsmap.fail_link(a, b)
+        assert lsmap.generation == g0 + 1
+        lsmap.fail_link(a, b)  # idempotent: no new event
+        assert lsmap.generation == g0 + 1
+
+    def test_subscribers_notified(self, lsmap):
+        events = []
+        lsmap.subscribe(events.append)
+        router = lsmap.live_routers()[3]
+        lsmap.fail_router(router)
+        assert events == [TopologyEvent(EventKind.ROUTER_DOWN, router=router)]
+
+    def test_pop_failure(self, lsmap):
+        downed = lsmap.fail_pop(0)
+        assert downed and all(not lsmap.is_router_up(r) for r in downed)
+        lsmap.restore_pop(0)
+        assert all(lsmap.is_router_up(r) for r in downed)
+
+    def test_path_is_live(self, lsmap):
+        paths = PathCache(lsmap)
+        routers = lsmap.live_routers()
+        path = paths.hop_path(routers[0], routers[-1])
+        assert lsmap.path_is_live(path)
+        lsmap.fail_link(path[0], path[1])
+        assert not lsmap.path_is_live(path)
+        assert not lsmap.path_is_live([])
+
+
+class TestPathCache:
+    def test_hop_path_endpoints(self, lsmap):
+        paths = PathCache(lsmap)
+        a, b = lsmap.live_routers()[0], lsmap.live_routers()[-1]
+        path = paths.hop_path(a, b)
+        assert path[0] == a and path[-1] == b
+        assert paths.hop_dist(a, b) == len(path) - 1
+        assert paths.hop_dist(a, a) == 0
+
+    def test_cache_invalidated_by_failures(self, lsmap):
+        paths = PathCache(lsmap)
+        a, b = lsmap.live_routers()[0], lsmap.live_routers()[-1]
+        before = paths.hop_path(a, b)
+        mid = before[len(before) // 2]
+        if mid not in (a, b):
+            lsmap.fail_router(mid)
+            after = paths.hop_path(a, b)
+            assert after is None or mid not in after
+
+    def test_unreachable_returns_none(self, lsmap):
+        paths = PathCache(lsmap)
+        a = lsmap.live_routers()[0]
+        b = lsmap.live_routers()[1]
+        lsmap.fail_router(b)
+        assert paths.hop_path(a, b) is None
+        assert paths.latency_ms(a, b) is None
+
+    def test_nearest(self, lsmap):
+        paths = PathCache(lsmap)
+        routers = lsmap.live_routers()
+        target = paths.nearest(routers[0], routers[5:8])
+        dists = {r: paths.hop_dist(routers[0], r) for r in routers[5:8]}
+        assert dists[target] == min(dists.values())
+
+    def test_latency_consistency(self, lsmap):
+        paths = PathCache(lsmap)
+        a, b = lsmap.live_routers()[0], lsmap.live_routers()[10]
+        direct = paths.latency_ms(a, b)
+        assert direct > 0
+        # Any explicit path is at least as slow as the optimum.
+        hop = paths.hop_path(a, b)
+        assert paths.path_latency_ms(hop) >= direct - 1e-9
+
+    def test_live_diameter_raises_when_partitioned(self, lsmap):
+        paths = PathCache(lsmap)
+        assert paths.live_diameter() > 0
+        lsmap.fail_pop(0)
+        cut_ok = len(lsmap.components()) > 1
+        if cut_ok:
+            with pytest.raises(ValueError):
+                paths.live_diameter()
+
+
+class TestFloodModel:
+    def test_flood_cost_scales_with_links(self, lsmap):
+        cost = flood_message_cost(lsmap)
+        assert cost == 2 * lsmap.live_graph.number_of_edges()
+        origin = lsmap.live_routers()[0]
+        assert flood_message_cost(lsmap, origin) < cost
+
+    def test_flood_latency_positive_and_bounded(self, lsmap):
+        origin = lsmap.live_routers()[0]
+        latency = flood_latency_ms(lsmap, origin)
+        assert latency > 0
+
+    def test_recovery_time_includes_detection(self, lsmap):
+        model = FloodModel(lsmap, timers=OspfTimers(fast_detect_ms=300.0))
+        origin = lsmap.live_routers()[0]
+        assert model.recovery_time_ms(origin) > 300.0
+
+    def test_flood_charges_stats(self, lsmap):
+        from repro.sim.stats import StatsCollector
+        stats = StatsCollector()
+        model = FloodModel(lsmap, stats=stats)
+        cost = model.lsa_flood(lsmap.live_routers()[0])
+        assert stats.total_messages("lsa") == cost > 0

@@ -1,0 +1,61 @@
+"""The control-plane message vocabulary (documentation-grade dataclasses)."""
+
+import pytest
+
+from repro.idspace.identifier import FlatId
+from repro.sim.messages import (DataPacket, DeliveryReceipt, JoinRequest,
+                                JoinResponse, LinkStateAd, Message, PathSetup,
+                                Teardown)
+
+
+def test_join_request_accumulates_route_record():
+    req = JoinRequest(src="r0", dst="r5", joining_id=FlatId(7),
+                      route_record=("r0", "r2"))
+    assert req.route_record == ("r0", "r2")
+    assert req.joining_id == FlatId(7)
+
+
+def test_join_response_carries_successor_group():
+    resp = JoinResponse(src="r5", dst="r0", joining_id=FlatId(7),
+                        predecessor=FlatId(3),
+                        successors=(FlatId(9), FlatId(12)))
+    assert resp.predecessor == FlatId(3)
+    assert len(resp.successors) == 2
+
+
+def test_path_setup_names_both_endpoints():
+    setup = PathSetup(src="r0", dst="r9", from_id=FlatId(7), to_id=FlatId(9),
+                      source_route=("r0", "r4", "r9"))
+    assert setup.source_route[0] == "r0"
+    assert setup.source_route[-1] == "r9"
+
+
+def test_teardown_variants():
+    by_id = Teardown(src="r0", dst="r9", failed_id=FlatId(7))
+    by_router = Teardown(src="r0", dst="r9", failed_router="r7")
+    assert by_id.failed_id is not None and by_id.failed_router is None
+    assert by_router.failed_router == "r7"
+
+
+def test_data_packet_as_path():
+    pkt = DataPacket(src="r0", dst="r9", dest_id=FlatId(1),
+                     as_path=("AS1", "AS2"))
+    assert pkt.as_path == ("AS1", "AS2")
+
+
+def test_lsa_piggybacks_zero_id():
+    lsa = LinkStateAd(src="r0", dst="*", origin="r0", sequence=4,
+                      neighbors=("r1", "r2"), zero_id=FlatId(0))
+    assert lsa.zero_id == FlatId(0)
+    assert lsa.sequence == 4
+
+
+def test_messages_are_immutable():
+    req = JoinRequest(src="a", dst="b", joining_id=FlatId(1))
+    with pytest.raises(AttributeError):
+        req.src = "c"
+
+
+def test_delivery_receipt_defaults():
+    receipt = DeliveryReceipt(completed_at=5.0, messages=3)
+    assert receipt.path == []

@@ -1,0 +1,137 @@
+"""Event-driven protocol simulation: concurrent joins, loss, timers."""
+
+import pytest
+
+from repro.intra.network import IntraDomainNetwork
+from repro.intra.protocol_sim import ProtocolSimulator
+from repro.topology.isp import synthetic_isp
+
+
+@pytest.fixture()
+def net():
+    topo = synthetic_isp(n_routers=40, seed=31)
+    return IntraDomainNetwork(topo, seed=31)
+
+
+class TestSequentialJoins:
+    def test_single_async_join_completes(self, net):
+        sim = ProtocolSimulator(net, seed=0)
+        pending = sim.join_host(net.next_planned_host())
+        sim.run()
+        assert pending.state == "done"
+        assert pending.latency_ms > 0
+        assert pending.messages > 0
+        net.check_ring()
+
+    def test_latency_reflects_link_delays(self, net):
+        sim = ProtocolSimulator(net, seed=0)
+        pending = sim.join_host(net.next_planned_host())
+        sim.run()
+        # At least one round trip over real links.
+        assert pending.latency_ms >= 2 * 0.3
+
+    def test_sequence_of_async_joins_is_consistent(self, net):
+        sim = ProtocolSimulator(net, seed=0)
+        for _ in range(15):
+            sim.join_host(net.next_planned_host())
+            sim.run()
+        net.check_ring()
+        assert all(p.state == "done" for p in sim.joins)
+
+
+class TestConcurrentJoins:
+    def test_batch_of_concurrent_joins_converges(self, net):
+        """30 joins launched at t=0; in-flight messages interleave."""
+        sim = ProtocolSimulator(net, seed=0)
+        for _ in range(30):
+            sim.join_host(net.next_planned_host())
+        sim.run()
+        assert all(p.state == "done" for p in sim.joins)
+        net.check_ring()
+
+    def test_concurrent_then_routable(self, net):
+        sim = ProtocolSimulator(net, seed=0)
+        for _ in range(20):
+            sim.join_host(net.next_planned_host())
+        sim.run()
+        for _ in range(30):
+            a, b = net.random_host_pair()
+            assert net.send(a, b).delivered
+
+    def test_staggered_waves(self, net):
+        sim = ProtocolSimulator(net, seed=0)
+        for wave in range(4):
+            for _ in range(8):
+                sim.join_host(net.next_planned_host())
+            sim.run(until=sim.loop.now + 15.0)  # waves overlap in flight
+        sim.run()
+        assert all(p.state == "done" for p in sim.joins)
+        net.check_ring()
+
+
+class TestLossAndRetransmission:
+    def test_joins_survive_lossy_network(self, net):
+        sim = ProtocolSimulator(net, seed=3, loss_rate=0.12,
+                                retransmit_ms=100.0, max_retries=30)
+        for _ in range(20):
+            sim.join_host(net.next_planned_host())
+        sim.run()
+        assert sim.messages_lost > 0           # loss actually happened
+        assert sim.retransmissions > 0         # …and ARQ recovered it
+        assert all(p.state == "done" for p in sim.joins)
+        net.check_ring()
+
+    def test_lossy_joins_cost_more_messages(self, net):
+        lossless = ProtocolSimulator(net, seed=4)
+        for _ in range(10):
+            lossless.join_host(net.next_planned_host())
+        lossless.run()
+        clean_msgs = lossless.messages_sent
+
+        topo = synthetic_isp(n_routers=40, seed=31)
+        net2 = IntraDomainNetwork(topo, seed=31)
+        lossy = ProtocolSimulator(net2, seed=4, loss_rate=0.15,
+                                  retransmit_ms=80.0, max_retries=40)
+        for _ in range(10):
+            lossy.join_host(net2.next_planned_host())
+        lossy.run()
+        assert lossy.messages_sent > clean_msgs
+
+    def test_extreme_loss_eventually_fails(self, net):
+        sim = ProtocolSimulator(net, seed=5, loss_rate=0.95,
+                                retransmit_ms=10.0, max_retries=2)
+        pending = sim.join_host(net.next_planned_host())
+        sim.run()
+        if pending.state == "failed":
+            # Rollback: the half-joined ID is gone everywhere.
+            assert pending.vn.id not in net.vn_index
+            assert pending.host.name not in net.hosts
+        net.check_ring()
+
+    def test_loss_rate_validation(self, net):
+        with pytest.raises(ValueError):
+            ProtocolSimulator(net, loss_rate=1.0)
+
+
+class TestGuards:
+    def test_duplicate_async_join_rejected(self, net):
+        sim = ProtocolSimulator(net, seed=0)
+        host = net.next_planned_host()
+        sim.join_host(host)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.join_host(host)
+
+    def test_join_via_down_gateway_rejected(self, net):
+        sim = ProtocolSimulator(net, seed=0)
+        victim = net.topology.routers[0]
+        net.lsmap.fail_router(victim)
+        with pytest.raises(ValueError):
+            sim.join_host(net.next_planned_host(), via_router=victim)
+
+    def test_on_done_callback_fires(self, net):
+        sim = ProtocolSimulator(net, seed=0)
+        seen = []
+        sim.join_host(net.next_planned_host(), on_done=seen.append)
+        sim.run()
+        assert len(seen) == 1 and seen[0].state == "done"

@@ -1,0 +1,100 @@
+"""Anycast service tests (Section 5.2)."""
+
+import pytest
+
+from repro.services.anycast import AnycastGroup
+
+
+@pytest.fixture()
+def net(intra_net_factory):
+    return intra_net_factory(n_hosts=60, seed=4)
+
+
+def test_servers_join_with_group_prefix(net):
+    group = AnycastGroup(net, "dns")
+    routers = net.topology.edge_routers()
+    ids = [group.add_server(routers[i]) for i in range(3)]
+    prefixes = {fid.prefix_bits(group.group_bits) for fid in ids}
+    assert len(prefixes) == 1
+    net.check_ring()
+
+
+def test_anycast_reaches_some_member(net):
+    group = AnycastGroup(net, "dns")
+    routers = net.topology.edge_routers()
+    for i in range(4):
+        group.add_server(routers[i])
+    result = group.send(routers[10])
+    assert result.delivered
+    # Delivered at a member's router.
+    terminal = net.routers[result.path[-1]]
+    assert any(group._is_member_id(rid) for rid in terminal.vn_table)
+
+
+def test_anycast_to_empty_group_fails(net):
+    group = AnycastGroup(net, "empty")
+    assert not group.send(net.topology.routers[0]).delivered
+
+
+def test_suffix_steering_changes_target(net):
+    group = AnycastGroup(net, "steer")
+    routers = net.topology.edge_routers()
+    group.add_server(routers[0], suffix=0)
+    group.add_server(routers[5], suffix=7)
+    r0 = group.send(routers[10], suffix=0)
+    r7 = group.send(routers[10], suffix=7)
+    assert r0.delivered and r7.delivered
+    # Each send lands at *a* member router ("the first server in G for
+    # which the packet encounters a route" — possibly not the aimed one).
+    member_routers = {net.vn_index[m].router for m in group.members.values()}
+    assert r0.path[-1] in member_routers
+    assert r7.path[-1] in member_routers
+    # Steering directly from the target's own router is exact.
+    exact = group.send(routers[5], suffix=7)
+    assert exact.delivered and exact.hops == 0
+
+
+def test_duplicate_suffix_rejected(net):
+    group = AnycastGroup(net, "dup")
+    group.add_server(net.topology.edge_routers()[0], suffix=1)
+    with pytest.raises(ValueError):
+        group.add_server(net.topology.edge_routers()[1], suffix=1)
+
+
+def test_remove_server(net):
+    group = AnycastGroup(net, "rm")
+    routers = net.topology.edge_routers()
+    group.add_server(routers[0], suffix=0)
+    group.add_server(routers[3], suffix=1)
+    group.remove_server(0)
+    net.check_ring()
+    assert 0 not in group.members
+    result = group.send(routers[10], suffix=0)
+    assert result.delivered  # falls through to the surviving member
+    with pytest.raises(KeyError):
+        group.remove_server(0)
+
+
+def test_anycast_cost_vs_nearest_member(net):
+    """The early-exit means anycast cost is bounded by routing to the
+    group arc — and never absurdly worse than the nearest member."""
+    group = AnycastGroup(net, "near")
+    routers = net.topology.edge_routers()
+    for i in range(0, 12, 3):
+        group.add_server(routers[i])
+    src = routers[20]
+    result = group.send(src)
+    nearest = group.nearest_member_distance(src)
+    assert result.delivered
+    assert result.hops <= max(4 * nearest, net.topology.diameter() * 4)
+
+
+def test_anycast_needs_no_extra_state(net):
+    """"This approach to anycast requires no additional state or control
+    message overhead beyond that of joining the network": adding a server
+    is exactly one ring join."""
+    group = AnycastGroup(net, "cost")
+    before = len(net.stats.operations)
+    group.add_server(net.topology.edge_routers()[0])
+    joins = [op for op in net.stats.operations[before:] if op["kind"] == "join"]
+    assert len(joins) == 1

@@ -1,0 +1,148 @@
+"""Extended services: Sybil auditing, G_X pruning, interdomain anycast."""
+
+import pytest
+
+from repro.inter.policy import JoinStrategy, VirtualAS
+from repro.services.anycast_inter import InterAnycastGroup
+from repro.services.auditing import (AuditFinding, QuotaExceeded, QuotaPolicy,
+                                     SybilAuditor)
+
+
+class TestSybilAuditing:
+    def test_quota_gate_blocks_overfull_router(self, intra_net_factory):
+        net = intra_net_factory(n_hosts=0)
+        router = net.topology.edge_routers()[0]
+        policy = QuotaPolicy(default_limit=3)
+        for _ in range(3):
+            host = net.next_planned_host()
+            policy.admit_join(net, router)
+            net.join_host(host, via_router=router)
+        with pytest.raises(QuotaExceeded):
+            policy.admit_join(net, router)
+
+    def test_per_router_limits_override_default(self, intra_net_factory):
+        net = intra_net_factory(n_hosts=0)
+        router = net.topology.edge_routers()[0]
+        policy = QuotaPolicy(default_limit=1, per_router={router: 10})
+        for _ in range(5):
+            policy.admit_join(net, router)
+            net.join_host(net.next_planned_host(), via_router=router)
+
+    def test_audit_detects_concocted_footprint(self, intra_net_factory):
+        """A misbehaving router that bypasses the gate is caught by the
+        sweep (the paper's Sybil damage-control mechanism)."""
+        net = intra_net_factory(n_hosts=0)
+        sybil_router = net.topology.edge_routers()[0]
+        for _ in range(8):
+            net.join_host(net.next_planned_host(), via_router=sybil_router)
+        auditor = SybilAuditor(net, QuotaPolicy(default_limit=4))
+        findings = auditor.audit()
+        assert findings and findings[0].router == sybil_router
+        assert findings[0].excess == 4
+
+    def test_footprint_report_sums_to_one(self, intra_net_factory):
+        net = intra_net_factory(n_hosts=40)
+        report = SybilAuditor(net).footprint_report()
+        assert abs(sum(report.values()) - 1.0) < 1e-9
+
+    def test_evict_excess_rebalances(self, intra_net_factory):
+        net = intra_net_factory(n_hosts=0)
+        sybil_router = net.topology.edge_routers()[0]
+        for _ in range(8):
+            net.join_host(net.next_planned_host(), via_router=sybil_router)
+        auditor = SybilAuditor(net, QuotaPolicy(default_limit=4))
+        moved = auditor.evict_excess()
+        assert moved == 4
+        assert not auditor.audit()
+        net.check_ring()
+
+    def test_clean_network_has_no_findings(self, intra_net_factory):
+        net = intra_net_factory(n_hosts=30)
+        assert SybilAuditor(net, QuotaPolicy(default_limit=100)).audit() == []
+
+
+class TestGxPruning:
+    def test_pruned_chain_is_smaller(self, inter_net_factory):
+        net = inter_net_factory(n_hosts=0)
+        home = next(asn for asn in net.asg.ases()
+                    if len(net.asg.providers(asn)) >= 2)
+        full = net.policy.join_chain(home, JoinStrategy.MULTIHOMED)
+        victim = net.asg.providers(home)[1]
+        pruned = net.policy.join_chain(home, JoinStrategy.MULTIHOMED,
+                                       prune={victim})
+        assert victim not in pruned
+        assert len(pruned) <= len(full)
+        assert pruned[-1] == net.policy.root  # still globally reachable
+
+    def test_cannot_prune_home(self, inter_net_factory):
+        net = inter_net_factory(n_hosts=0)
+        home = net.asg.stubs()[0]
+        with pytest.raises(ValueError):
+            net.policy.join_chain(home, JoinStrategy.MULTIHOMED,
+                                  prune={home})
+
+    def test_pruned_join_costs_less_and_still_works(self, inter_net_factory):
+        net = inter_net_factory(n_hosts=60, seed=33)
+        home = next(asn for asn in net.asg.ases()
+                    if len(net.asg.providers(asn)) >= 2
+                    and net.asg.hosts(asn) > 0)
+        victim = net.asg.providers(home)[1]
+        h_full = net.next_planned_host()
+        h_pruned = net.next_planned_host()
+        r_full = net.join_host(h_full)
+        # attach the pruned host at the multihomed AS for a fair compare
+        from repro.topology.hosts import PlannedHost
+        h_pruned = PlannedHost(name=h_pruned.name, attach_at=home,
+                               key_pair=h_pruned.key_pair)
+        r_pruned = net.join_host(h_pruned, prune={victim})
+        assert r_pruned.levels_joined <= r_full.levels_joined + 2
+        net.check_rings()
+        other = next(n for n in net.hosts if n != h_pruned.name)
+        assert net.send(other, h_pruned.name).delivered
+
+
+class TestInterAnycast:
+    @pytest.fixture()
+    def net(self, inter_net_factory):
+        return inter_net_factory(n_hosts=100, seed=34, n_fingers=6)
+
+    def test_reaches_a_replica(self, net):
+        group = InterAnycastGroup(net, "resolver")
+        bearers = [a for a in net.asg.ases() if net.asg.hosts(a) > 0]
+        for asn in bearers[:4]:
+            group.add_replica(asn)
+        net.check_rings()
+        src = bearers[10]
+        result = group.send(src)
+        assert result.delivered
+        terminal = net.ases[result.path[-1]]
+        assert any(group._is_member_id(h) for h in terminal.hosted)
+
+    def test_empty_group_fails(self, net):
+        group = InterAnycastGroup(net, "empty")
+        assert not group.send(net.asg.ases()[0]).delivered
+
+    def test_duplicate_suffix_rejected(self, net):
+        group = InterAnycastGroup(net, "dup")
+        bearers = [a for a in net.asg.ases() if net.asg.hosts(a) > 0]
+        group.add_replica(bearers[0], suffix=1)
+        with pytest.raises(ValueError):
+            group.add_replica(bearers[1], suffix=1)
+
+    def test_cost_bounded_by_nearest_replica_regime(self, net):
+        group = InterAnycastGroup(net, "cdn")
+        bearers = [a for a in net.asg.ases() if net.asg.hosts(a) > 0]
+        for asn in bearers[:5]:
+            group.add_replica(asn)
+        src = bearers[12]
+        result = group.send(src)
+        nearest = group.nearest_replica_distance(src)
+        assert result.delivered and nearest is not None
+        assert result.hops <= max(6 * nearest, 12)
+
+    def test_member_ases_tracked(self, net):
+        group = InterAnycastGroup(net, "track")
+        bearers = [a for a in net.asg.ases() if net.asg.hosts(a) > 0]
+        group.add_replica(bearers[0])
+        group.add_replica(bearers[1])
+        assert set(group.member_ases()) == {bearers[0], bearers[1]}

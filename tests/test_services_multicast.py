@@ -1,0 +1,98 @@
+"""Multicast service tests (Section 5.2): path-painting trees."""
+
+import pytest
+
+from repro.services.multicast import MulticastGroup
+
+
+@pytest.fixture()
+def net(intra_net_factory):
+    return intra_net_factory(n_hosts=40, seed=5)
+
+
+def members_at(net, count, start=0, step=2):
+    return net.topology.edge_routers()[start:start + count * step:step]
+
+
+def test_every_member_receives_exactly_once(net):
+    group = MulticastGroup(net, "video")
+    for i, router in enumerate(members_at(net, 8)):
+        group.join("m{}".format(i), router)
+    report = group.multicast("m0")
+    assert report.receivers == {"m{}".format(i) for i in range(8)}
+
+
+def test_delivery_from_any_member(net):
+    group = MulticastGroup(net, "video")
+    for i, router in enumerate(members_at(net, 6)):
+        group.join("m{}".format(i), router)
+    for i in range(6):
+        report = group.multicast("m{}".format(i))
+        assert len(report.receivers) == 6
+
+
+def test_tree_is_acyclic_connected(net):
+    group = MulticastGroup(net, "tree")
+    for i, router in enumerate(members_at(net, 7)):
+        group.join("m{}".format(i), router)
+    n_nodes = len(set(group.tree_links) | set(group.local_members))
+    # A tree has exactly n-1 edges.
+    assert group.tree_edge_count() == n_nodes - 1
+
+
+def test_messages_equal_tree_edges_reached(net):
+    group = MulticastGroup(net, "msgs")
+    for i, router in enumerate(members_at(net, 6)):
+        group.join("m{}".format(i), router)
+    report = group.multicast("m0")
+    assert report.messages == group.tree_edge_count()
+
+
+def test_duplicate_member_rejected(net):
+    group = MulticastGroup(net, "dup")
+    group.join("m0", net.topology.edge_routers()[0])
+    with pytest.raises(ValueError):
+        group.join("m0", net.topology.edge_routers()[1])
+
+
+def test_join_cost_charged(net):
+    group = MulticastGroup(net, "cost")
+    routers = members_at(net, 3)
+    group.join("m0", routers[0])
+    cost = group.join("m1", routers[1])
+    assert cost > 0
+    assert net.stats.total_messages("multicast-join") >= cost
+
+
+def test_co_located_members(net):
+    group = MulticastGroup(net, "colo")
+    router = net.topology.edge_routers()[0]
+    group.join("m0", router)
+    group.join("m1", router)  # same router: no painting needed
+    report = group.multicast("m0")
+    assert report.receivers == {"m0", "m1"}
+    assert report.messages == 0
+
+
+def test_leave_prunes_leaf_branches(net):
+    group = MulticastGroup(net, "prune")
+    routers = members_at(net, 4)
+    for i, router in enumerate(routers):
+        group.join("m{}".format(i), router)
+    edges_before = group.tree_edge_count()
+    group.leave("m3")
+    assert group.tree_edge_count() <= edges_before
+    report = group.multicast("m0")
+    assert report.receivers == {"m0", "m1", "m2"}
+
+
+def test_leave_unknown_member(net):
+    group = MulticastGroup(net, "x")
+    with pytest.raises(KeyError):
+        group.leave("ghost")
+
+
+def test_multicast_from_unknown_member(net):
+    group = MulticastGroup(net, "x")
+    with pytest.raises(KeyError):
+        group.multicast("ghost")

@@ -1,0 +1,114 @@
+"""Interdomain multicast tests, plus the data-snooping cache option."""
+
+import pytest
+
+from repro.intra.network import IntraDomainNetwork
+from repro.services.multicast_inter import InterMulticastGroup
+from repro.topology.isp import synthetic_isp
+
+
+@pytest.fixture()
+def net(inter_net_factory):
+    return inter_net_factory(n_hosts=80, seed=41, n_fingers=6)
+
+
+def bearer_ases(net, n):
+    return [a for a in net.asg.ases() if net.asg.hosts(a) > 0][:n]
+
+
+class TestInterMulticast:
+    def test_all_members_receive(self, net):
+        group = InterMulticastGroup(net, "feed")
+        for i, asn in enumerate(bearer_ases(net, 6)):
+            group.join("m{}".format(i), asn)
+        report = group.multicast("m0")
+        assert report.receivers == {"m{}".format(i) for i in range(6)}
+
+    def test_tree_is_a_tree(self, net):
+        group = InterMulticastGroup(net, "tree")
+        for i, asn in enumerate(bearer_ases(net, 7)):
+            group.join("m{}".format(i), asn)
+        nodes = set(group.tree_links) | set(group.local_members)
+        assert group.tree_edge_count() == len(nodes) - 1
+
+    def test_cheaper_than_unicast_fanout(self, net):
+        """The reason multicast exists: one copy per tree edge beats one
+        unicast per member."""
+        group = InterMulticastGroup(net, "cdn")
+        for i, asn in enumerate(bearer_ases(net, 8)):
+            group.join("m{}".format(i), asn)
+        report = group.multicast("m0")
+        assert report.messages <= group.unicast_equivalent_cost("m0")
+
+    def test_colocated_members_share_branch(self, net):
+        group = InterMulticastGroup(net, "colo")
+        asn = bearer_ases(net, 1)[0]
+        group.join("a", asn)
+        cost = group.join("b", asn)
+        assert cost == 0
+        assert group.multicast("a").receivers == {"a", "b"}
+
+    def test_leave_prunes(self, net):
+        group = InterMulticastGroup(net, "prune")
+        ases = bearer_ases(net, 5)
+        for i, asn in enumerate(ases):
+            group.join("m{}".format(i), asn)
+        before = group.tree_edge_count()
+        group.leave("m4")
+        assert group.tree_edge_count() <= before
+        assert group.multicast("m0").receivers == {"m0", "m1", "m2", "m3"}
+
+    def test_duplicate_and_unknown_members(self, net):
+        group = InterMulticastGroup(net, "dup")
+        group.join("a", bearer_ases(net, 1)[0])
+        with pytest.raises(ValueError):
+            group.join("a", bearer_ases(net, 1)[0])
+        with pytest.raises(KeyError):
+            group.leave("ghost")
+        with pytest.raises(KeyError):
+            group.multicast("ghost")
+
+    def test_join_in_failed_as_rejected(self, net):
+        group = InterMulticastGroup(net, "down")
+        stub = next(s for s in net.asg.stubs()
+                    if len(net.ases[s].hosted) == 0)
+        net.fail_as(stub)
+        with pytest.raises(ValueError):
+            group.join("x", stub)
+
+
+class TestDataSnooping:
+    def test_snooping_fills_caches_from_data(self):
+        topo = synthetic_isp(n_routers=40, seed=42)
+        net = IntraDomainNetwork(topo, seed=42, cache_entries=4096,
+                                 cache_fill_enabled=False,
+                                 snoop_data_packets=True)
+        net.join_random_hosts(60)
+        assert net.cache_stats()["entries"] == 0  # control fill is off
+        for _ in range(50):
+            a, b = net.random_host_pair()
+            net.send(a, b)
+        assert net.cache_stats()["entries"] > 0   # …but data snooping fills
+
+    def test_default_matches_paper(self, intra_net_factory):
+        """Section 6.1: the paper's experiments do NOT snoop data."""
+        net = intra_net_factory(n_hosts=5)
+        assert net.snoop_data_packets is False
+
+    def test_snooping_improves_repeat_traffic(self):
+        def repeat_stretch(snoop):
+            topo = synthetic_isp(n_routers=40, seed=43)
+            net = IntraDomainNetwork(topo, seed=43, cache_entries=4096,
+                                     cache_fill_enabled=False,
+                                     snoop_data_packets=snoop)
+            net.join_random_hosts(60)
+            pairs = [net.random_host_pair() for _ in range(15)]
+            for a, b in pairs:      # warm
+                net.send(a, b)
+            vals = []
+            for a, b in pairs:      # measure repeats
+                result = net.send(a, b)
+                if result.delivered and result.optimal_hops > 0:
+                    vals.append(result.stretch)
+            return sum(vals) / len(vals)
+        assert repeat_stretch(True) <= repeat_stretch(False)

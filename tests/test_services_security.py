@@ -1,0 +1,111 @@
+"""Security services (Section 5.3): default-off, capabilities."""
+
+import pytest
+
+from repro.idspace.crypto import KeyPair, SignatureAuthority
+from repro.services.security import (AccessController, Capability,
+                                     CapabilityAuthority)
+
+
+@pytest.fixture()
+def authority():
+    return SignatureAuthority()
+
+
+@pytest.fixture()
+def dst_key(authority):
+    return KeyPair.generate(b"destination", authority)
+
+
+@pytest.fixture()
+def src_key(authority):
+    return KeyPair.generate(b"source", authority)
+
+
+class TestCapabilities:
+    def test_grant_and_verify(self, dst_key, src_key):
+        caps = CapabilityAuthority(dst_key)
+        cap = caps.grant(src_key.flat_id, expires_at=100.0)
+        assert caps.verify(cap, now=10.0, claimed_src=src_key.flat_id)
+
+    def test_lifetime_enforced(self, dst_key, src_key):
+        caps = CapabilityAuthority(dst_key)
+        cap = caps.grant(src_key.flat_id, expires_at=100.0)
+        assert not caps.verify(cap, now=100.1, claimed_src=src_key.flat_id)
+
+    def test_wrong_source_rejected(self, dst_key, src_key, authority):
+        caps = CapabilityAuthority(dst_key)
+        cap = caps.grant(src_key.flat_id, expires_at=100.0)
+        other = KeyPair.generate(b"other", authority)
+        assert not caps.verify(cap, now=1.0, claimed_src=other.flat_id)
+
+    def test_forged_signature_rejected(self, dst_key, src_key):
+        caps = CapabilityAuthority(dst_key)
+        cap = caps.grant(src_key.flat_id, expires_at=100.0)
+        forged = Capability(src_id=cap.src_id, dst_id=cap.dst_id,
+                            expires_at=999.0,  # extended lifetime
+                            allowed_ases=cap.allowed_ases,
+                            signature=cap.signature)
+        assert not caps.verify(forged, now=200.0, claimed_src=src_key.flat_id)
+
+    def test_capability_bound_to_destination(self, authority, src_key):
+        dst1 = KeyPair.generate(b"d1", authority)
+        dst2 = KeyPair.generate(b"d2", authority)
+        cap = CapabilityAuthority(dst1).grant(src_key.flat_id, 100.0)
+        assert not CapabilityAuthority(dst2).verify(
+            cap, now=1.0, claimed_src=src_key.flat_id)
+
+    def test_revocation(self, dst_key, src_key):
+        caps = CapabilityAuthority(dst_key)
+        cap = caps.grant(src_key.flat_id, expires_at=100.0)
+        caps.revoke(cap)
+        assert not caps.verify(cap, now=1.0, claimed_src=src_key.flat_id)
+
+    def test_path_capability_restricts_ases(self, dst_key, src_key):
+        caps = CapabilityAuthority(dst_key)
+        cap = caps.grant(src_key.flat_id, 100.0,
+                         allowed_ases={"AS1", "AS2", "AS3"})
+        ok = caps.verify(cap, 1.0, src_key.flat_id,
+                         as_path=("AS1", "AS2", "AS3"))
+        bad = caps.verify(cap, 1.0, src_key.flat_id,
+                          as_path=("AS1", "AS9", "AS3"))
+        assert ok and not bad
+
+    def test_describe(self, dst_key, src_key):
+        caps = CapabilityAuthority(dst_key)
+        cap = caps.grant(src_key.flat_id, 100.0)
+        assert "Capability" in cap.describe()
+
+
+class TestDefaultOff:
+    def test_unregistered_destination_dropped(self, src_key, dst_key):
+        controller = AccessController()
+        ok, reason = controller.admit(src_key.flat_id, dst_key.flat_id)
+        assert not ok and "not registered" in reason
+
+    def test_registered_destination_admits(self, src_key, dst_key):
+        controller = AccessController()
+        controller.register(dst_key.flat_id)
+        ok, _ = controller.admit(src_key.flat_id, dst_key.flat_id)
+        assert ok
+
+    def test_allow_list_enforced(self, src_key, dst_key, authority):
+        controller = AccessController()
+        friend = KeyPair.generate(b"friend", authority)
+        controller.register(dst_key.flat_id, allowed_sources={friend.flat_id})
+        assert controller.admit(friend.flat_id, dst_key.flat_id)[0]
+        assert not controller.admit(src_key.flat_id, dst_key.flat_id)[0]
+
+    def test_allow_source_extends_list(self, src_key, dst_key):
+        controller = AccessController()
+        controller.register(dst_key.flat_id, allowed_sources=set())
+        assert not controller.admit(src_key.flat_id, dst_key.flat_id)[0]
+        controller.allow_source(dst_key.flat_id, src_key.flat_id)
+        assert controller.admit(src_key.flat_id, dst_key.flat_id)[0]
+
+    def test_deregister_returns_to_default_off(self, src_key, dst_key):
+        controller = AccessController()
+        controller.register(dst_key.flat_id)
+        controller.deregister(dst_key.flat_id)
+        assert not controller.admit(src_key.flat_id, dst_key.flat_id)[0]
+        assert not controller.is_registered(dst_key.flat_id)

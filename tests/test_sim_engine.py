@@ -1,0 +1,99 @@
+"""Discrete-event kernel tests."""
+
+import pytest
+
+from repro.sim.engine import EventLoop
+
+
+def test_events_fire_in_time_order():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(3.0, lambda: fired.append("c"))
+    loop.schedule(1.0, lambda: fired.append("a"))
+    loop.schedule(2.0, lambda: fired.append("b"))
+    loop.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(1.0, lambda: fired.append(1))
+    loop.schedule(1.0, lambda: fired.append(2))
+    loop.run()
+    assert fired == [1, 2]
+
+
+def test_now_advances_to_event_time():
+    loop = EventLoop()
+    seen = []
+    loop.schedule(5.0, lambda: seen.append(loop.now))
+    loop.run()
+    assert seen == [5.0]
+    assert loop.now == 5.0
+
+
+def test_cannot_schedule_in_past():
+    with pytest.raises(ValueError):
+        EventLoop().schedule(-1.0, lambda: None)
+
+
+def test_cancelled_events_do_not_fire():
+    loop = EventLoop()
+    fired = []
+    event = loop.schedule(1.0, lambda: fired.append("x"))
+    event.cancel()
+    loop.run()
+    assert fired == []
+    assert loop.pending == 0
+
+
+def test_run_until_stops_at_boundary():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(1.0, lambda: fired.append(1))
+    loop.schedule(10.0, lambda: fired.append(2))
+    ran = loop.run(until=5.0)
+    assert ran == 1 and fired == [1]
+    assert loop.now == 5.0
+    loop.run()
+    assert fired == [1, 2]
+
+
+def test_max_events_bound():
+    loop = EventLoop()
+    for i in range(10):
+        loop.schedule(float(i), lambda: None)
+    assert loop.run(max_events=4) == 4
+    assert loop.pending == 6
+
+
+def test_events_may_schedule_more_events():
+    loop = EventLoop()
+    fired = []
+
+    def chain(depth):
+        fired.append(depth)
+        if depth < 3:
+            loop.schedule(1.0, lambda: chain(depth + 1))
+
+    loop.schedule(0.0, lambda: chain(0))
+    loop.run()
+    assert fired == [0, 1, 2, 3]
+    assert loop.now == 3.0
+
+
+def test_schedule_at_absolute_time():
+    loop = EventLoop()
+    seen = []
+    loop.schedule_at(7.5, lambda: seen.append(loop.now))
+    loop.run()
+    assert seen == [7.5]
+
+
+def test_peek_time_skips_cancelled():
+    loop = EventLoop()
+    first = loop.schedule(1.0, lambda: None)
+    loop.schedule(2.0, lambda: None)
+    first.cancel()
+    assert loop.peek_time() == 2.0

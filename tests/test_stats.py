@@ -1,0 +1,100 @@
+"""Measurement plumbing: charging, operation scoping, CDF helpers."""
+
+import math
+
+import pytest
+
+from repro.sim.stats import PathResult, StatsCollector, cdf_points, percentile
+
+
+class TestCharging:
+    def test_charge_path_counts_links_not_nodes(self):
+        stats = StatsCollector()
+        assert stats.charge_path(["a", "b", "c"], "data") == 2
+        assert stats.total_messages("data") == 2
+
+    def test_single_node_path_is_free(self):
+        stats = StatsCollector()
+        assert stats.charge_path(["a"], "data") == 0
+
+    def test_traversals_skip_origin(self):
+        stats = StatsCollector()
+        stats.charge_path(["a", "b", "c"])
+        load = stats.load_series()
+        assert "a" not in load and load["b"] == 1 and load["c"] == 1
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(ValueError):
+            StatsCollector().charge_hops(-1)
+
+    def test_total_messages_across_categories(self):
+        stats = StatsCollector()
+        stats.charge_hops(3, "join")
+        stats.charge_hops(2, "data")
+        assert stats.total_messages() == 5
+        assert stats.total_messages("join") == 3
+
+    def test_reset_load_keeps_messages(self):
+        stats = StatsCollector()
+        stats.charge_path(["a", "b"])
+        stats.reset_load()
+        assert stats.load_series() == {}
+        assert stats.total_messages() == 1
+
+
+class TestOperations:
+    def test_operation_attribution(self):
+        stats = StatsCollector()
+        with stats.operation("join", host="h1") as op:
+            stats.charge_hops(5, "join")
+        assert op["messages"] == 5
+        assert stats.operation_costs("join") == [5]
+
+    def test_nested_operations_both_charged(self):
+        stats = StatsCollector()
+        with stats.operation("outer"):
+            with stats.operation("inner"):
+                stats.charge_hops(2)
+        assert stats.operation_costs("outer") == [2]
+        assert stats.operation_costs("inner") == [2]
+
+    def test_charges_outside_scope_not_attributed(self):
+        stats = StatsCollector()
+        with stats.operation("join"):
+            pass
+        stats.charge_hops(9)
+        assert stats.operation_costs("join") == [0]
+
+
+class TestPathResult:
+    def test_stretch(self):
+        assert PathResult(True, hops=6, optimal_hops=3).stretch == 2.0
+
+    def test_stretch_of_failed_delivery_is_inf(self):
+        assert math.isinf(PathResult(False).stretch)
+
+    def test_zero_optimal_means_stretch_one(self):
+        assert PathResult(True, hops=0, optimal_hops=0).stretch == 1.0
+
+
+class TestCdfHelpers:
+    def test_cdf_points(self):
+        pts = cdf_points([3, 1, 2])
+        assert pts == [(1, 1 / 3), (2, 2 / 3), (3, 1.0)]
+
+    def test_cdf_empty(self):
+        assert cdf_points([]) == []
+
+    def test_percentile_median(self):
+        assert percentile([5, 1, 3], 0.5) == 3
+
+    def test_percentile_bounds(self):
+        data = list(range(10))
+        assert percentile(data, 0.0) == 0
+        assert percentile(data, 1.0) == 9
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
