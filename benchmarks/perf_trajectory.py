@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Scaling sweep past 10k hosts → ``BENCH_scaling.json``.
+
+Runs the interdomain and intradomain simulators over growing host
+populations (default top end: 10,000 interdomain hosts), recording for
+each population the join and send throughput (ops/sec), wall-clock
+seconds, peak RSS, and the full hot-path perf-counter dump
+(:mod:`repro.util.perf`).  The JSON this writes is the repo's
+machine-checkable performance trajectory: CI runs ``--quick`` and fails
+if the required keys are missing, and successive PRs can diff the
+full-scale numbers.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_trajectory.py          # full sweep
+    PYTHONPATH=src python benchmarks/perf_trajectory.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.inter.network import InterDomainNetwork          # noqa: E402
+from repro.inter.policy import JoinStrategy                 # noqa: E402
+from repro.intra.network import IntraDomainNetwork          # noqa: E402
+from repro.topology.asgraph import synthetic_as_graph       # noqa: E402
+from repro.topology.isp import synthetic_isp                # noqa: E402
+from repro.util import perf                                 # noqa: E402
+
+INTER_POPULATIONS = (500, 1000, 2500, 5000, 10000)
+INTRA_POPULATIONS = (500, 1000, 2500, 5000, 10000)
+QUICK_POPULATIONS = (100, 300)
+
+#: Keys every BENCH_scaling.json must carry (checked by CI and by this
+#: script itself after writing).
+REQUIRED_TOP_KEYS = ("generated_unix", "quick", "peak_rss_mb",
+                     "interdomain", "intradomain")
+REQUIRED_ROW_KEYS = ("hosts", "join_seconds", "joins_per_sec",
+                     "send_seconds", "sends_per_sec", "perf")
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process, in MiB (linux: KiB units)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _throughput_row(n_hosts: int, join_fn, send_fn, n_sends: int) -> dict:
+    perf.reset()
+    t0 = time.perf_counter()
+    join_fn(n_hosts)
+    join_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    send_fn(n_sends)
+    send_seconds = time.perf_counter() - t0
+    return {
+        "hosts": n_hosts,
+        "join_seconds": round(join_seconds, 3),
+        "joins_per_sec": round(n_hosts / join_seconds, 1),
+        "send_seconds": round(send_seconds, 3),
+        "sends_per_sec": round(n_sends / send_seconds, 1),
+        "peak_rss_mb": round(peak_rss_mb(), 1),
+        "perf": perf.snapshot(),
+    }
+
+
+def sweep_inter(populations, n_ases: int = 100, n_sends: int = 500,
+                seed: int = 0) -> list:
+    rows = []
+    for n_hosts in populations:
+        asg = synthetic_as_graph(n_ases=n_ases, seed=seed)
+        net = InterDomainNetwork(asg, n_fingers=8, seed=seed,
+                                 strategy=JoinStrategy.MULTIHOMED)
+
+        def send_many(count):
+            delivered = 0
+            for _ in range(count):
+                a, b = net.random_host_pair()
+                delivered += net.send(a, b).delivered
+            if delivered < count * 0.99:
+                raise AssertionError(
+                    "interdomain delivery degraded: {}/{}".format(
+                        delivered, count))
+
+        row = _throughput_row(n_hosts, net.join_random_hosts, send_many,
+                              n_sends)
+        rows.append(row)
+        print("  inter {:>6} hosts: {:>7.1f} joins/s  {:>7.1f} sends/s  "
+              "rss {:.0f} MiB".format(n_hosts, row["joins_per_sec"],
+                                      row["sends_per_sec"],
+                                      row["peak_rss_mb"]))
+    return rows
+
+
+def sweep_intra(populations, n_routers: int = 67, n_sends: int = 500,
+                seed: int = 0) -> list:
+    rows = []
+    for n_hosts in populations:
+        topo = synthetic_isp(n_routers=n_routers, seed=seed, name="AS3967")
+        net = IntraDomainNetwork(topo, seed=seed)
+
+        def send_many(count):
+            delivered = 0
+            for _ in range(count):
+                a, b = net.random_host_pair()
+                delivered += net.send(a, b).delivered
+            if delivered < count * 0.99:
+                raise AssertionError(
+                    "intradomain delivery degraded: {}/{}".format(
+                        delivered, count))
+
+        row = _throughput_row(n_hosts, net.join_random_hosts, send_many,
+                              n_sends)
+        rows.append(row)
+        print("  intra {:>6} hosts: {:>7.1f} joins/s  {:>7.1f} sends/s  "
+              "rss {:.0f} MiB".format(n_hosts, row["joins_per_sec"],
+                                      row["sends_per_sec"],
+                                      row["peak_rss_mb"]))
+    return rows
+
+
+def validate(data: dict) -> None:
+    """Raise ``ValueError`` unless ``data`` has the required shape."""
+    for key in REQUIRED_TOP_KEYS:
+        if key not in data:
+            raise ValueError("BENCH_scaling.json missing key {!r}".format(key))
+    for section in ("interdomain", "intradomain"):
+        rows = data[section]
+        if not rows:
+            raise ValueError("section {!r} is empty".format(section))
+        for row in rows:
+            for key in REQUIRED_ROW_KEYS:
+                if key not in row:
+                    raise ValueError("row in {!r} missing key {!r}".format(
+                        section, key))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small populations for CI smoke runs")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: repo-root "
+                             "BENCH_scaling.json)")
+    args = parser.parse_args(argv)
+
+    inter_pops = QUICK_POPULATIONS if args.quick else INTER_POPULATIONS
+    intra_pops = QUICK_POPULATIONS if args.quick else INTRA_POPULATIONS
+    out_path = args.out or os.path.join(os.path.dirname(__file__), "..",
+                                        "BENCH_scaling.json")
+
+    print("interdomain sweep (populations {}):".format(inter_pops))
+    inter_rows = sweep_inter(inter_pops)
+    print("intradomain sweep (populations {}):".format(intra_pops))
+    intra_rows = sweep_intra(intra_pops)
+
+    data = {
+        "generated_unix": int(time.time()),
+        "quick": bool(args.quick),
+        "peak_rss_mb": round(peak_rss_mb(), 1),
+        "interdomain": inter_rows,
+        "intradomain": intra_rows,
+    }
+    validate(data)
+    with open(out_path, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("wrote {} (peak RSS {:.0f} MiB)".format(
+        os.path.normpath(out_path), data["peak_rss_mb"]))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

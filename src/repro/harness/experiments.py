@@ -9,6 +9,7 @@ is computed and reported (see DESIGN.md §3.5).
 
 from __future__ import annotations
 
+import functools
 import math
 from typing import Dict, List, Sequence, Tuple
 
@@ -21,7 +22,29 @@ from repro.sim.stats import cdf_points, percentile
 from repro.topology.asgraph import synthetic_as_graph
 from repro.topology.hosts import PAPER_INTERNET_HOSTS
 from repro.topology.isp import ROCKETFUEL_PROFILES, TCAM_ENTRIES, synthetic_isp
+from repro.util import perf
 from repro.util.rng import derive_rng
+
+
+def _with_perf(fn):
+    """Instrument an experiment driver with the global perf registry.
+
+    The registry is reset on entry, the whole driver runs under an
+    ``experiment.<name>`` timer, and the counter/timer snapshot is
+    attached to the result dict under the ``"perf"`` key — so every
+    figure's output carries the hot-path counters (forwarding hops,
+    index rebuilds, SPF evictions) that produced it.  Report formatters
+    skip the key; ``benchmarks/perf_trajectory.py`` persists it.
+    """
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        perf.reset()
+        with perf.timed("experiment." + fn.__name__):
+            result = fn(*args, **kwargs)
+        if isinstance(result, dict):
+            result["perf"] = perf.snapshot()
+        return result
+    return wrapper
 
 #: Scaled-down router counts for fast benchmark runs; pass
 #: ``full_scale=True`` to use the paper's Rocketfuel sizes.
@@ -43,6 +66,7 @@ def _isp(profile: str, seed: int, full_scale: bool):
 # Fig 5a — intradomain cumulative join overhead (+ CMU-ETHERNET ratio)
 # ---------------------------------------------------------------------------
 
+@_with_perf
 def fig5a_intra_join_overhead(profiles: Sequence[str] = ("AS1221", "AS3967"),
                               host_counts: Sequence[int] = (10, 100, 1000),
                               seed: int = 0,
@@ -76,6 +100,7 @@ def fig5a_intra_join_overhead(profiles: Sequence[str] = ("AS1221", "AS3967"),
 # Fig 5b — CDF of per-host join overhead
 # ---------------------------------------------------------------------------
 
+@_with_perf
 def fig5b_join_overhead_cdf(profiles: Sequence[str] = ("AS1221", "AS3967"),
                             n_hosts: int = 600, seed: int = 0,
                             full_scale: bool = False) -> Dict:
@@ -100,6 +125,7 @@ def fig5b_join_overhead_cdf(profiles: Sequence[str] = ("AS1221", "AS3967"),
 # Fig 5c — CDF of join latency
 # ---------------------------------------------------------------------------
 
+@_with_perf
 def fig5c_join_latency_cdf(profiles: Sequence[str] = ("AS1221", "AS3967"),
                            n_hosts: int = 400, seed: int = 0,
                            full_scale: bool = False) -> Dict:
@@ -122,6 +148,7 @@ def fig5c_join_latency_cdf(profiles: Sequence[str] = ("AS1221", "AS3967"),
 # Fig 6a — intradomain stretch vs pointer-cache size
 # ---------------------------------------------------------------------------
 
+@_with_perf
 def fig6a_stretch_vs_cache(profile: str = "AS3967",
                            cache_sizes: Sequence[int] = (0, 16, 64, 256, 1024,
                                                          8192, TCAM_ENTRIES),
@@ -147,6 +174,7 @@ def fig6a_stretch_vs_cache(profile: str = "AS3967",
 # Fig 6b — load balance vs OSPF
 # ---------------------------------------------------------------------------
 
+@_with_perf
 def fig6b_load_balance(profile: str = "AS3967", n_hosts: int = 500,
                        n_packets: int = 1500, seed: int = 0,
                        full_scale: bool = False) -> Dict:
@@ -185,6 +213,7 @@ def fig6b_load_balance(profile: str = "AS3967", n_hosts: int = 500,
 # Fig 6c — memory per router vs number of IDs (+ CMU-ETHERNET ratio)
 # ---------------------------------------------------------------------------
 
+@_with_perf
 def fig6c_memory(profile: str = "AS3967",
                  host_counts: Sequence[int] = (10, 100, 1000),
                  seed: int = 0, full_scale: bool = False) -> Dict:
@@ -211,6 +240,7 @@ def fig6c_memory(profile: str = "AS3967",
 # Fig 7 — partition repair overhead vs IDs per PoP
 # ---------------------------------------------------------------------------
 
+@_with_perf
 def fig7_partition_repair(profile: str = "AS3967",
                           ids_per_pop: Sequence[int] = (1, 4, 16, 64),
                           seed: int = 0, full_scale: bool = False) -> Dict:
@@ -239,6 +269,7 @@ def fig7_partition_repair(profile: str = "AS3967",
 # §6.2 (text) — host-failure overhead vs join overhead
 # ---------------------------------------------------------------------------
 
+@_with_perf
 def fig7b_host_failure(profile: str = "AS3967", n_hosts: int = 500,
                        n_failures: int = 100, seed: int = 0,
                        full_scale: bool = False) -> Dict:
@@ -265,6 +296,7 @@ def fig7b_host_failure(profile: str = "AS3967", n_hosts: int = 500,
 # Fig 8a — interdomain join overhead per strategy
 # ---------------------------------------------------------------------------
 
+@_with_perf
 def fig8a_inter_join(n_ases: int = 80, n_hosts: int = 300, seed: int = 0,
                      n_fingers: int = 8) -> Dict:
     out: Dict = {"strategies": {}}
@@ -318,6 +350,7 @@ def extrapolate_join_to_internet(fig8a: Dict, measured_ids: int,
 # Fig 8b — interdomain stretch CDF vs finger count (+ BGP-policy)
 # ---------------------------------------------------------------------------
 
+@_with_perf
 def fig8b_inter_stretch(n_ases: int = 80, n_hosts: int = 300,
                         finger_counts: Sequence[int] = (4, 16, 32),
                         n_packets: int = 300, seed: int = 0) -> Dict:
@@ -359,6 +392,7 @@ def fig8b_inter_stretch(n_ases: int = 80, n_hosts: int = 300,
 # Fig 8c — interdomain stretch vs per-AS pointer cache
 # ---------------------------------------------------------------------------
 
+@_with_perf
 def fig8c_inter_cache_stretch(n_ases: int = 80, n_hosts: int = 300,
                               cache_sizes: Sequence[int] = (0, 64, 512, 4096),
                               n_packets: int = 300, seed: int = 0,
@@ -386,6 +420,7 @@ def fig8c_inter_cache_stretch(n_ases: int = 80, n_hosts: int = 300,
 # §6.3 failures — stub-AS failure impact
 # ---------------------------------------------------------------------------
 
+@_with_perf
 def fig8d_stub_failure(n_ases: int = 80, n_hosts: int = 400,
                        n_failures: int = 5, n_probe_pairs: int = 400,
                        seed: int = 0) -> Dict:
@@ -440,6 +475,7 @@ def fig8d_stub_failure(n_ases: int = 80, n_hosts: int = 400,
 # §4.2 / 6.3 — bloom-filter peering vs virtual-AS peering
 # ---------------------------------------------------------------------------
 
+@_with_perf
 def fig8e_bloom_peering(n_ases: int = 80, n_hosts: int = 250,
                         n_packets: int = 250, seed: int = 0,
                         n_fingers: int = 8) -> Dict:

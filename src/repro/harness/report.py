@@ -33,6 +33,8 @@ def format_fig5b(result: Dict) -> str:
     lines.append("{:<10} {:>8} {:>8} {:>8} {:>10} {:>12}".format(
         "ISP", "median", "p95", "mean", "diameter", "mean/diam"))
     for profile, data in result.items():
+        if profile == "perf":
+            continue
         lines.append("{:<10} {:>8.0f} {:>8.0f} {:>8.1f} {:>10} {:>11.1f}x".format(
             profile, data["median"], data["p95"], data["mean"],
             data["diameter"], data["per_diameter"]))
@@ -45,6 +47,8 @@ def format_fig5c(result: Dict) -> str:
     lines.append("{:<10} {:>10} {:>10} {:>10}".format(
         "ISP", "median", "p95", "mean"))
     for profile, data in result.items():
+        if profile == "perf":
+            continue
         lines.append("{:<10} {:>10.1f} {:>10.1f} {:>10.1f}".format(
             profile, data["median_ms"], data["p95_ms"], data["mean_ms"]))
     lines.append("paper: joins typically complete in under 40 ms")
@@ -169,6 +173,8 @@ def format_fig8e(result: Dict) -> str:
     lines.append("{:<12} {:>12} {:>14} {:>10} {:>16}".format(
         "mode", "mean join", "mean stretch", "delivery", "bloom Mbit"))
     for mode, data in result.items():
+        if mode == "perf":
+            continue
         lines.append("{:<12} {:>12.1f} {:>14.2f} {:>9.0%} {:>16.2f}".format(
             mode, data["mean_join"], data["mean_stretch"],
             data["delivery_rate"], data["bloom_mbits_total"]))

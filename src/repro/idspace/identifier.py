@@ -28,7 +28,7 @@ class FlatId:
     (successorship, clockwise distance) live on :class:`RingSpace`.
     """
 
-    __slots__ = ("value", "bits")
+    __slots__ = ("value", "bits", "_hash")
 
     def __init__(self, value: int, bits: int = DEFAULT_BITS):
         if bits <= 0:
@@ -84,7 +84,14 @@ class FlatId:
         return self.value < other.value
 
     def __hash__(self) -> int:
-        return hash((self.value, self.bits))
+        # Hashing only the value keeps equal IDs hash-equal (equality
+        # implies equal values); the result is memoised because IDs are
+        # immutable and live in many dict-keyed hot paths.
+        try:
+            return self._hash
+        except AttributeError:
+            result = self._hash = hash(self.value)
+            return result
 
     def __repr__(self) -> str:
         return "FlatId(0x{}…)".format(self.to_hex()[:8])
@@ -103,6 +110,9 @@ class RingSpace:
             raise ValueError("bits must be positive")
         self.bits = bits
         self.size = 1 << bits
+        #: ``size - 1``; with a power-of-two namespace, ``x & mask`` is the
+        #: wrap used by the int-domain fast paths below.
+        self.mask = self.size - 1
 
     def make(self, value: int) -> FlatId:
         return FlatId(value, bits=self.bits)
@@ -150,8 +160,13 @@ class RingSpace:
     ) -> Optional[FlatId]:
         """The greedy next hop: closest candidate to ``dest`` that is not past it.
 
-        This is the rule of Algorithm 2 in the paper.  Returns ``None`` when
-        no candidate makes strictly positive progress.
+        This is the rule of Algorithm 2 in the paper, evaluated by a linear
+        scan — the right tool for small, *unsorted* candidate iterables
+        (a successor group, one VN's pointer set).  For a maintained sorted
+        key set, :meth:`repro.util.ringmap.SortedRingMap.closest_not_past`
+        answers the same query with one bisect; the two are cross-checked
+        against each other by the ring-invariant tests.  Returns ``None``
+        when no candidate makes strictly positive progress.
         """
         best = None
         best_advance = 0
@@ -164,6 +179,54 @@ class RingSpace:
     def midpoint(self, a: FlatId, b: FlatId) -> FlatId:
         """The ID halfway along the clockwise arc from ``a`` to ``b``."""
         return self.make(a.value + self.distance_cw(a, b) // 2)
+
+    # -- int-domain fast paths ---------------------------------------------------
+    #
+    # The greedy inner loops (forwarding, router indexes, ring maps) run
+    # these operations millions of times per experiment.  Working on raw
+    # ``int`` values skips FlatId allocation, ``total_ordering`` dispatch
+    # and tuple hashing; the property tests assert each variant returns
+    # exactly what its FlatId counterpart returns.
+
+    def distance_cw_i(self, a: int, b: int) -> int:
+        """Int-domain :meth:`distance_cw` over raw ``.value`` ints."""
+        return (b - a) & self.mask
+
+    def in_interval_oc_i(self, x: int, a: int, b: int) -> bool:
+        """Int-domain :meth:`in_interval_oc` (clockwise ``(a, b]``)."""
+        if a == b:
+            return True
+        mask = self.mask
+        return 0 < ((x - a) & mask) <= ((b - a) & mask)
+
+    def in_interval_oo_i(self, x: int, a: int, b: int) -> bool:
+        """Int-domain :meth:`in_interval_oo` (clockwise ``(a, b)``)."""
+        if a == b:
+            return x != a
+        mask = self.mask
+        da = (x - a) & mask
+        return 0 < da < ((b - a) & mask)
+
+    def progress_i(self, current: int, candidate: int, dest: int) -> Optional[int]:
+        """Int-domain :meth:`progress`."""
+        mask = self.mask
+        advanced = (candidate - current) & mask
+        if advanced > ((dest - current) & mask):
+            return None
+        return advanced
+
+    def closest_not_past_i(self, current: int, dest: int,
+                           candidates: Iterable[int]) -> Optional[int]:
+        """Int-domain :meth:`closest_not_past` over raw values."""
+        mask = self.mask
+        to_dest = (dest - current) & mask
+        best = None
+        best_advance = 0
+        for cand in candidates:
+            advanced = (cand - current) & mask
+            if advanced <= to_dest and advanced > best_advance:
+                best, best_advance = cand, advanced
+        return best
 
     def __repr__(self) -> str:
         return "RingSpace(bits={})".format(self.bits)

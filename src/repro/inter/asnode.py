@@ -5,16 +5,28 @@ An AS node aggregates the pointer state of every identifier it hosts,
 keeps the AS-level pointer cache with its bloom-filter isolation guard
 (Section 4.1), and the bloom filter summarising the hosts in its subtree
 (consulted by the peering machinery of Section 4.2).
+
+The aggregated candidate index is maintained *incrementally*: each hosted
+virtual node's contribution (its own ID plus its pointer targets) is
+tracked, and ``mark_dirty(vn)`` re-diffs only that VN on the next lookup.
+The seed implementation rebuilt the whole index — every hosted ID and
+every pointer — after each mutation, which made index maintenance the
+single hottest path of interdomain joins; see ``repro.util.perf``'s
+``asnode.index.*`` counters.
 """
 
 from __future__ import annotations
 
+import bisect
+import itertools
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, TYPE_CHECKING
 
 from repro.idspace.identifier import FlatId, RingSpace
 from repro.inter.pointers import ASPointer, InterVirtualNode
 from repro.intra.pointercache import PointerCache
+from repro.util import perf
 from repro.util.bloom import BloomFilter
 from repro.util.ringmap import SortedRingMap
 
@@ -38,8 +50,12 @@ class ASBestMatch:
 
 @dataclass
 class _Entry:
+    """``ptrs`` holds ``(owner_seq, cand_seq, pointer)`` tuples kept
+    sorted, reproducing the seed rebuild's pointer order (hosted VNs in
+    hosting order, each VN's candidates in table order)."""
+
     vn: Optional[InterVirtualNode] = None
-    pointers: List[ASPointer] = field(default_factory=list)
+    ptrs: List[tuple] = field(default_factory=list)
 
 
 class RoflAS:
@@ -54,7 +70,15 @@ class RoflAS:
         #: Hosts joined at or below this AS ("bloom filters that summarize
         #: the set of hosts in the subtree rooted at the AS").
         self.subtree_bloom = BloomFilter(n_bits=bloom_bits, n_hashes=4)
-        self._index: Optional[SortedRingMap] = None
+
+        # -- incremental candidate index state (see module docstring) --
+        self._index = SortedRingMap(space)
+        self._seq = itertools.count()
+        self._owner_seq: Dict[int, int] = {}
+        self._iv_hosted: Dict[int, InterVirtualNode] = {}
+        self._contrib: Dict[int, tuple] = {}    # vn.id.value -> (seq, [key values])
+        self._dirty_owners: set = set()
+        self._dirty_all = True
 
     # -- hosting -----------------------------------------------------------------
 
@@ -64,11 +88,18 @@ class RoflAS:
         if vn.home_as != self.asn:
             raise ValueError("virtual node belongs to another AS")
         self.hosted[vn.id] = vn
-        self.mark_dirty()
+        iv = vn.id.value
+        self._iv_hosted[iv] = vn
+        self._owner_seq[iv] = next(self._seq)
+        self.mark_dirty(vn)
 
     def unhost(self, vn_id: FlatId) -> InterVirtualNode:
         vn = self.hosted.pop(vn_id)
-        self.mark_dirty()
+        iv = vn_id.value
+        self._iv_hosted.pop(iv, None)
+        self._owner_seq.pop(iv, None)
+        if not self._dirty_all:
+            self._dirty_owners.add(iv)
         return vn
 
     def hosts_id(self, vn_id: FlatId) -> bool:
@@ -76,28 +107,70 @@ class RoflAS:
 
     # -- the aggregated candidate index ----------------------------------------------
 
-    def mark_dirty(self) -> None:
-        self._index = None
+    def mark_dirty(self, vn: Optional[InterVirtualNode] = None) -> None:
+        """Note a pointer-state change; with ``vn`` given only that VN's
+        contribution is re-diffed on the next lookup."""
+        if vn is None:
+            self._dirty_all = True
+            self._dirty_owners.clear()
+        elif not self._dirty_all:
+            self._dirty_owners.add(vn.id.value)
 
-    def _ensure_index(self) -> SortedRingMap:
-        if self._index is not None:
-            return self._index
-        index = SortedRingMap(self.space)
-        for vn in self.hosted.values():
-            entry = index.get(vn.id)
+    def _entry_for(self, key: FlatId) -> _Entry:
+        entry = self._index.get(key.value)
+        if entry is None:
+            entry = _Entry()
+            self._index.insert(key, entry)
+        return entry
+
+    def _add_contrib(self, vn: InterVirtualNode) -> None:
+        iv = vn.id.value
+        seq = self._owner_seq[iv]
+        keys = [iv]
+        self._entry_for(vn.id).vn = vn
+        for cand_seq, ptr in enumerate(vn.candidate_pointers()):
+            insort(self._entry_for(ptr.dest_id).ptrs, (seq, cand_seq, ptr))
+            keys.append(ptr.dest_id.value)
+        self._contrib[iv] = (seq, keys)
+
+    def _remove_contrib(self, owner_iv: int) -> None:
+        record = self._contrib.pop(owner_iv, None)
+        if record is None:
+            return
+        seq, keys = record
+        index = self._index
+        for key_iv in keys:
+            entry = index.get(key_iv)
             if entry is None:
-                entry = _Entry()
-                index.insert(vn.id, entry)
-            entry.vn = vn
-        for vn in self.hosted.values():
-            for ptr in vn.candidate_pointers():
-                entry = index.get(ptr.dest_id)
-                if entry is None:
-                    entry = _Entry()
-                    index.insert(ptr.dest_id, entry)
-                entry.pointers.append(ptr)
-        self._index = index
-        return index
+                continue
+            if key_iv == owner_iv and entry.vn is not None \
+                    and entry.vn.id.value == owner_iv:
+                entry.vn = None
+            if entry.ptrs:
+                entry.ptrs = [t for t in entry.ptrs if t[0] != seq]
+            if entry.vn is None and not entry.ptrs:
+                index.remove(key_iv)
+
+    def _flush_index(self) -> None:
+        if self._dirty_all:
+            perf.counter("asnode.index.rebuild")
+            self._index = SortedRingMap(self.space)
+            self._contrib = {}
+            self._seq = itertools.count()
+            self._owner_seq = {vn.id.value: next(self._seq)
+                               for vn in self.hosted.values()}
+            for vn in self.hosted.values():
+                self._add_contrib(vn)
+            self._dirty_all = False
+            self._dirty_owners.clear()
+        elif self._dirty_owners:
+            perf.counter("asnode.index.refresh", len(self._dirty_owners))
+            for owner_iv in self._dirty_owners:
+                self._remove_contrib(owner_iv)
+                vn = self._iv_hosted.get(owner_iv)
+                if vn is not None:
+                    self._add_contrib(vn)
+            self._dirty_owners.clear()
 
     @staticmethod
     def _vn_in_ring(vn: InterVirtualNode, scope: Optional[Hashable]) -> bool:
@@ -120,22 +193,29 @@ class RoflAS:
         rule; cached pointers additionally pass the bloom-filter isolation
         guard and lose to equally good non-cache state.
         """
-        index = self._ensure_index()
+        self._flush_index()
+        index = self._index
+        ivalues = index.key_values()
+        n = len(ivalues)
         best: Optional[ASBestMatch] = None
-        scanned = 0
-        for cand_id in index.iter_predecessors(dest):
-            scanned += 1
-            if scanned > max_scan:
-                break
-            entry = index[cand_id]
-            dist = self.space.distance_cw(cand_id, dest)
-            if entry.vn is not None and self._vn_in_ring(entry.vn, scope):
-                best = ASBestMatch(cand_id, None, entry.vn, dist)
-                break
-            pointer = self._pick_pointer(net, entry.pointers, scope, arrived_from)
-            if pointer is not None:
-                best = ASBestMatch(cand_id, pointer, None, dist)
-                break
+        if n:
+            payloads = index.payloads()
+            dest_iv = dest.value
+            mask = self.space.mask
+            start = (bisect.bisect_right(ivalues, dest_iv) - 1) % n
+            for offset in range(min(n, max_scan)):
+                iv = ivalues[(start - offset) % n]
+                entry = payloads[iv]
+                vn = entry.vn
+                if vn is not None and self._vn_in_ring(vn, scope):
+                    best = ASBestMatch(vn.id, None, vn, (dest_iv - iv) & mask)
+                    break
+                pointer = self._pick_pointer(net, entry.ptrs, scope,
+                                             arrived_from)
+                if pointer is not None:
+                    best = ASBestMatch(pointer.dest_id, pointer, None,
+                                       (dest_iv - iv) & mask)
+                    break
         if use_cache:
             cached = self._cache_match(net, dest, scope, arrived_from,
                                        best.distance if best else None)
@@ -144,9 +224,10 @@ class RoflAS:
         return best
 
     def _pick_pointer(self, net: "InterDomainNetwork",
-                      pointers: List[ASPointer], scope: Optional[Hashable],
+                      ptr_entries: List[tuple], scope: Optional[Hashable],
                       arrived_from: Optional[Hashable]) -> Optional[ASPointer]:
-        for ptr in pointers:
+        for entry in ptr_entries:
+            ptr = entry[2]
             if scope is not None and ptr.kind == "finger":
                 # Scoped (join-time) searches walk the successor structure
                 # only: a finger may target an ID that is not a member of
@@ -181,7 +262,7 @@ class RoflAS:
         ptr = self.cache.best_match(dest)
         if ptr is None:
             return None
-        dist = self.space.distance_cw(ptr.dest_id, dest)
+        dist = self.space.distance_cw_i(ptr.dest_id.value, dest.value)
         if better_than is not None and dist >= better_than:
             return None
         if arrived_from is not None and not net.policy.shortcut_allowed(
@@ -195,23 +276,29 @@ class RoflAS:
         self.cache.invalidate_id(pointer.dest_id)
         for vn in self.hosted.values():
             if vn.drop_dead_target(pointer.dest_id):
-                self.mark_dirty()
+                self.mark_dirty(vn)
 
     def reroute_pointer(self, new: ASPointer) -> None:
         """Swap in a repaired route for every pointer naming its target."""
         self.cache.replace(new)
         for vn in self.hosted.values():
+            changed = False
             for table in (vn.succ_by_level, vn.pred_by_level):
                 for lvl, ptr in list(table.items()):
                     if ptr.dest_id == new.dest_id:
                         table[lvl] = ASPointer(new.dest_id, new.dest_as,
                                                new.as_route, level=lvl,
                                                kind=ptr.kind)
-                        self.mark_dirty()
-            vn.fingers = [ASPointer(new.dest_id, new.dest_as, new.as_route,
-                                    level=f.level, kind=f.kind)
-                          if f.dest_id == new.dest_id else f
-                          for f in vn.fingers]
+                        changed = True
+            fingers = [ASPointer(new.dest_id, new.dest_as, new.as_route,
+                                 level=f.level, kind=f.kind)
+                       if f.dest_id == new.dest_id else f
+                       for f in vn.fingers]
+            if any(a is not b for a, b in zip(fingers, vn.fingers)):
+                changed = True
+            vn.fingers = fingers
+            if changed:
+                self.mark_dirty(vn)
 
     def state_entries(self, include_cache: bool = True) -> int:
         total = sum(vn.state_entries() for vn in self.hosted.values())

@@ -162,7 +162,7 @@ def _join_level(net: "InterDomainNetwork", vn: InterVirtualNode,
                                                       tuple(back),
                                                       level=level,
                                                       kind="predecessor")
-            net.ases[succ.home_as].mark_dirty()
+            net.ases[succ.home_as].mark_dirty(succ)
 
     # The predecessor always re-points at the new node at this level.
     pred_route = _route_to_vn(net, pred.home_as, vn, level)
@@ -170,7 +170,7 @@ def _join_level(net: "InterDomainNetwork", vn: InterVirtualNode,
         _set_successor_preserving_coverage(
             net, pred, level,
             ASPointer(vn.id, vn.home_as, tuple(pred_route), level=level))
-        net.ases[pred.home_as].mark_dirty()
+        net.ases[pred.home_as].mark_dirty(pred)
         forward = net.policy.policy_path(vn.home_as, pred.home_as, scope=level)
         if forward is not None:
             vn.pred_by_level[level] = ASPointer(pred.id, pred.home_as,
@@ -179,7 +179,7 @@ def _join_level(net: "InterDomainNetwork", vn: InterVirtualNode,
 
     ring.insert(vn.id, vn)
     vn.joined_levels.append(level)
-    net.ases[vn.home_as].mark_dirty()
+    net.ases[vn.home_as].mark_dirty(vn)
 
 
 def _set_successor_preserving_coverage(net: "InterDomainNetwork",

@@ -127,7 +127,7 @@ def acquire_fingers(net: "InterDomainNetwork", vn: InterVirtualNode,
         row += 1
 
     vn.fingers = fingers
-    net.ases[vn.home_as].mark_dirty()
+    net.ases[vn.home_as].mark_dirty(vn)
     return charged
 
 
@@ -152,7 +152,7 @@ def refresh_fingers_after_failure(net: "InterDomainNetwork",
             and net.as_is_up(f.dest_as)]
     lost = len(vn.fingers) - len(live)
     vn.fingers = live
-    net.ases[vn.home_as].mark_dirty()
+    net.ases[vn.home_as].mark_dirty(vn)
     if lost:
         net.stats.charge_hops(lost, "repair")
     return lost

@@ -230,7 +230,7 @@ class InterDomainNetwork:
                 for hosted in other.hosted.values():
                     for dead in list(dead_ids):
                         if hosted.drop_dead_target(dead):
-                            other.mark_dirty()
+                            other.mark_dirty(hosted)
             return op["messages"]
 
     def _repair_gap(self, dead_vn: InterVirtualNode, level: Hashable) -> None:
@@ -258,8 +258,8 @@ class InterDomainNetwork:
             succ.pred_by_level[level] = ASPointer(pred.id, pred.home_as,
                                                   tuple(back), level=level,
                                                   kind="predecessor")
-        self.ases[pred.home_as].mark_dirty()
-        self.ases[succ.home_as].mark_dirty()
+        self.ases[pred.home_as].mark_dirty(pred)
+        self.ases[succ.home_as].mark_dirty(succ)
 
     def restore_as(self, asn: Hashable) -> None:
         self._failed.discard(asn)

@@ -73,6 +73,7 @@ class PolicyView:
                 self._vas_by_member.setdefault(member, []).append(vas)
         self._subtree_cache: Dict[Hashable, Set[Hashable]] = {}
         self._policy_path_cache: Dict[Tuple, Optional[Tuple[Hashable, ...]]] = {}
+        self._step_cache: Dict[Tuple[Hashable, Hashable], Optional[str]] = {}
         root = self.root_level()
         if root is None:
             raise ValueError("AS graph has no global root ring "
@@ -220,15 +221,24 @@ class PolicyView:
     # -- valley-free paths ------------------------------------------------------------
 
     def step_type(self, a: Hashable, b: Hashable) -> Optional[str]:
-        """Classify the directed AS hop ``a → b``."""
+        """Classify the directed AS hop ``a → b`` (memoised: the AS graph
+        is static for the lifetime of a policy)."""
+        key = (a, b)
+        try:
+            return self._step_cache[key]
+        except KeyError:
+            pass
         rel = self.asg.relationship(a, b)
         if rel is None:
-            return None
-        if rel is Relationship.PEER:
-            return "peer"
-        if rel in (Relationship.CUSTOMER_PROVIDER, Relationship.BACKUP):
-            return "up" if self.asg.is_provider_of(b, a) else "down"
-        return None
+            kind = None
+        elif rel is Relationship.PEER:
+            kind = "peer"
+        elif rel in (Relationship.CUSTOMER_PROVIDER, Relationship.BACKUP):
+            kind = "up" if self.asg.is_provider_of(b, a) else "down"
+        else:
+            kind = None
+        self._step_cache[key] = kind
+        return kind
 
     def route_is_valley_free(self, route: Sequence[Hashable]) -> bool:
         """up* (peer)? down* — at most one peer crossing, never up after

@@ -34,6 +34,7 @@ from typing import Hashable, List, Optional, TYPE_CHECKING
 
 from repro.idspace.identifier import FlatId
 from repro.inter.pointers import ASPointer, InterVirtualNode
+from repro.util import perf
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.inter.network import InterDomainNetwork
@@ -76,6 +77,7 @@ def route(
     """
     if mode not in ("data", "lookup"):
         raise ValueError("unknown mode {!r}".format(mode))
+    perf.counter("inter.fwd.packets")
     space = net.space
     greedy_dest = dest_id if mode == "data" else space.make(dest_id.value - 1)
 
@@ -183,6 +185,7 @@ def route(
             committed = pointer
             committed_step = 0
             next_as = committed.as_route[1]
+        perf.counter("inter.fwd.hops")
         if net.policy.step_type(current, next_as) == "peer":
             outcome.crossed_peer = True
         outcome.as_path.append(next_as)
@@ -206,10 +209,12 @@ def effective_successor(net: "InterDomainNetwork", vn: InterVirtualNode,
     stored at an inner level)."""
     best: Optional[ASPointer] = None
     best_dist = None
+    mask = net.space.mask
+    own_iv = vn.id.value
     for lvl, ptr in vn.succ_by_level.items():
         if lvl is not None and not net.policy.level_contained_in(lvl, level):
             continue
-        dist = net.space.distance_cw(vn.id, ptr.dest_id)
+        dist = (ptr.dest_id.value - own_iv) & mask
         if best_dist is None or dist < best_dist:
             best, best_dist = ptr, dist
     return best

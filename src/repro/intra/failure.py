@@ -71,7 +71,7 @@ def _teardown_ephemeral(net: "IntraDomainNetwork", vn: VirtualNode) -> None:
         net.stats.charge_path(path, "teardown")
     if pred_vn is not None and vn.id in pred_vn.ephemeral_children:
         del pred_vn.ephemeral_children[vn.id]
-        net.routers[pred_vn.router].mark_dirty()
+        net.routers[pred_vn.router].mark_dirty(pred_vn)
 
 
 def _teardown_stable(net: "IntraDomainNetwork", vn: VirtualNode) -> None:
@@ -107,7 +107,7 @@ def _teardown_stable(net: "IntraDomainNetwork", vn: VirtualNode) -> None:
     # Each notified predecessor drops the dead ID from its group.
     for prev in predecessors:
         if prev.drop_successor(vn.id):
-            net.routers[prev.router].mark_dirty()
+            net.routers[prev.router].mark_dirty(prev)
 
     # (2) Directed flood invalidating cached pointers (constrained to the
     # route record + the shortest-path routers toward them).
@@ -130,7 +130,7 @@ def _teardown_stable(net: "IntraDomainNetwork", vn: VirtualNode) -> None:
 
     if pred_vn is not None:
         if pred_vn.drop_successor(vn.id):
-            net.routers[pred_vn.router].mark_dirty()
+            net.routers[pred_vn.router].mark_dirty(pred_vn)
         # The teardown message carries the failed node's (accurate)
         # successor list; the predecessor merges it with its own group,
         # which may be stale — nodes that joined between the failed ID
@@ -147,7 +147,7 @@ def _teardown_stable(net: "IntraDomainNetwork", vn: VirtualNode) -> None:
             merged.append(Pointer(ptr.dest_id, tuple(path), "successor"))
         merged.sort(key=lambda p: net.space.distance_cw(pred_vn.id, p.dest_id))
         pred_vn.set_successors(merged, net.successor_group_size)
-        net.routers[pred_vn.router].mark_dirty()
+        net.routers[pred_vn.router].mark_dirty(pred_vn)
         new_primary = pred_vn.primary_successor()
         if new_primary is not None:
             setup = net.paths.hop_path(pred_vn.router,
@@ -171,7 +171,7 @@ def _teardown_stable(net: "IntraDomainNetwork", vn: VirtualNode) -> None:
             if back is not None:
                 eph_vn.predecessor = Pointer(pred_vn.id, tuple(back),
                                              "predecessor")
-            net.routers[pred_vn.router].mark_dirty()
+            net.routers[pred_vn.router].mark_dirty(pred_vn)
 
     if succ_vn is not None and pred_vn is not None and succ_vn is not pred_vn:
         if (succ_vn.predecessor is None
@@ -185,7 +185,7 @@ def _teardown_stable(net: "IntraDomainNetwork", vn: VirtualNode) -> None:
         if succ_vn.predecessor is not None and succ_vn.predecessor.dest_id == vn.id:
             succ_vn.predecessor = None
         succ_vn.drop_successor(vn.id)
-        net.routers[succ_vn.router].mark_dirty()
+        net.routers[succ_vn.router].mark_dirty(succ_vn)
 
 
 def refill_successor_group(net: "IntraDomainNetwork", vn: VirtualNode) -> None:
@@ -222,7 +222,7 @@ def refill_successor_group(net: "IntraDomainNetwork", vn: VirtualNode) -> None:
             grew = True
             if len(vn.successors) >= net.successor_group_size:
                 break
-        net.routers[vn.router].mark_dirty()
+        net.routers[vn.router].mark_dirty(vn)
         if not grew:
             return
 
@@ -283,13 +283,13 @@ def purge_pointers_via(net: "IntraDomainNetwork", dead_router: str,
                              if not p.traverses(dead_router)
                              and p.dest_id not in dead_ids]
             if len(vn.successors) != before:
-                router.mark_dirty()
+                router.mark_dirty(vn)
                 dropped += before - len(vn.successors)
             doomed = [eid for eid, p in vn.ephemeral_children.items()
                       if p.traverses(dead_router) or eid in dead_ids]
             for eid in doomed:
                 del vn.ephemeral_children[eid]
-                router.mark_dirty()
+                router.mark_dirty(vn)
                 dropped += 1
             if (vn.predecessor is not None
                     and (vn.predecessor.traverses(dead_router)

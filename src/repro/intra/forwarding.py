@@ -26,6 +26,7 @@ from typing import List, Optional, TYPE_CHECKING
 
 from repro.idspace.identifier import FlatId
 from repro.intra.virtualnode import Pointer, VirtualNode
+from repro.util import perf
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.intra.network import IntraDomainNetwork
@@ -67,6 +68,7 @@ def route(
     """
     if mode not in ("data", "lookup"):
         raise ValueError("unknown mode {!r}".format(mode))
+    perf.counter("fwd.packets")
     space = net.space
     include_ephemeral = mode == "data"
     # Lookups aim at the spot just before the target so greedy routing
@@ -188,6 +190,7 @@ def route(
             committed = pointer
             committed_step = 0
             next_router = committed.path[1]
+        perf.counter("fwd.hops")
         outcome.latency_ms += net.lsmap.live_graph.edges[current, next_router]["latency_ms"]
         outcome.path.append(next_router)
         current = next_router
@@ -205,8 +208,10 @@ def _overshoots_all(net: "IntraDomainNetwork", vn: VirtualNode,
                     greedy_dest: FlatId) -> bool:
     """True when none of ``vn``'s own pointers make further progress —
     i.e. ``vn`` is the greedy destination's predecessor."""
-    here = net.space.distance_cw(vn.id, greedy_dest)
+    mask = net.space.mask
+    dest_iv = greedy_dest.value
+    here = (dest_iv - vn.id.value) & mask
     for ptr in vn.successors:
-        if net.space.distance_cw(ptr.dest_id, greedy_dest) < here:
+        if ((dest_iv - ptr.dest_id.value) & mask) < here:
             return False
     return True

@@ -79,7 +79,7 @@ def _leave_ephemeral(net: "IntraDomainNetwork", vn: VirtualNode) -> None:
         net.stats.charge_path(path, "leave")
     if pred_vn is not None and vn.id in pred_vn.ephemeral_children:
         del pred_vn.ephemeral_children[vn.id]
-        net.routers[pred_vn.router].mark_dirty()
+        net.routers[pred_vn.router].mark_dirty(pred_vn)
 
 
 def _leave_stable(net: "IntraDomainNetwork", vn: VirtualNode) -> None:
@@ -99,7 +99,7 @@ def _leave_stable(net: "IntraDomainNetwork", vn: VirtualNode) -> None:
 
     if pred_vn is not None and pred_vn is not vn:
         if pred_vn.drop_successor(vn.id):
-            net.routers[pred_vn.router].mark_dirty()
+            net.routers[pred_vn.router].mark_dirty(pred_vn)
         merged = [p for p in pred_vn.successors if net.id_is_live(p.dest_id)]
         for ptr in vn.successors:
             if ptr.dest_id == pred_vn.id or not net.id_is_live(ptr.dest_id):
@@ -109,7 +109,7 @@ def _leave_stable(net: "IntraDomainNetwork", vn: VirtualNode) -> None:
                 merged.append(Pointer(ptr.dest_id, tuple(path), "successor"))
         merged.sort(key=lambda p: net.space.distance_cw(pred_vn.id, p.dest_id))
         pred_vn.set_successors(merged, net.successor_group_size)
-        net.routers[pred_vn.router].mark_dirty()
+        net.routers[pred_vn.router].mark_dirty(pred_vn)
         # Orphaned ephemeral children re-home to the predecessor.
         for eph_id in list(vn.ephemeral_children):
             eph_vn = net.vn_index.get(eph_id)
@@ -125,7 +125,7 @@ def _leave_stable(net: "IntraDomainNetwork", vn: VirtualNode) -> None:
             if back is not None:
                 eph_vn.predecessor = Pointer(pred_vn.id, tuple(back),
                                              "predecessor")
-            net.routers[pred_vn.router].mark_dirty()
+            net.routers[pred_vn.router].mark_dirty(pred_vn)
 
     if succ_vn is not None and pred_vn is not None and succ_vn is not vn \
             and succ_vn is not pred_vn:
@@ -138,7 +138,7 @@ def _leave_stable(net: "IntraDomainNetwork", vn: VirtualNode) -> None:
         succ_vn.drop_successor(vn.id)
         if succ_vn.predecessor is not None and succ_vn.predecessor.dest_id == vn.id:
             succ_vn.predecessor = None
-        net.routers[succ_vn.router].mark_dirty()
+        net.routers[succ_vn.router].mark_dirty(succ_vn)
 
 
 def move_host(net: "IntraDomainNetwork", host_name: str,

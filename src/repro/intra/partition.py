@@ -102,12 +102,12 @@ def _heal_one_component(net: "IntraDomainNetwork", component: Set[str]) -> None:
         vn.successors = [p for p in vn.successors if p.dest_id in member_ids
                          and net.lsmap.reachable(vn.router, p.hosting_router)]
         if len(vn.successors) != before:
-            net.routers[vn.router].mark_dirty()
+            net.routers[vn.router].mark_dirty(vn)
         expected = members[(i + 1) % n]
         if n == 1:
             vn.successors = []
             vn.predecessor = None
-            net.routers[vn.router].mark_dirty()
+            net.routers[vn.router].mark_dirty(vn)
             continue
         primary = vn.primary_successor()
         if primary is None or primary.dest_id != expected.id:
@@ -119,7 +119,7 @@ def _heal_one_component(net: "IntraDomainNetwork", component: Set[str]) -> None:
             net.stats.charge_path(list(reversed(path)), "repair")
             vn.push_successor(Pointer(expected.id, tuple(path), "successor"),
                               net.successor_group_size)
-            net.routers[vn.router].mark_dirty()
+            net.routers[vn.router].mark_dirty(vn)
         prev = members[(i - 1) % n]
         if (vn.predecessor is None or vn.predecessor.dest_id not in member_ids
                 or vn.predecessor.dest_id != prev.id):
@@ -132,7 +132,7 @@ def _heal_one_component(net: "IntraDomainNetwork", component: Set[str]) -> None:
                   if not net.lsmap.reachable(vn.router, p.hosting_router)]
         for eid in doomed:
             del vn.ephemeral_children[eid]
-            net.routers[vn.router].mark_dirty()
+            net.routers[vn.router].mark_dirty(vn)
 
     from repro.intra.failure import refill_successor_group
     for vn in members:
@@ -202,7 +202,7 @@ def _splice(net: "IntraDomainNetwork", pred: VirtualNode,
             back = net.paths.hop_path(succ_vn.router, vn.router)
             if back is not None:
                 succ_vn.predecessor = Pointer(vn.id, tuple(back), "predecessor")
-                net.routers[succ_vn.router].mark_dirty()
+                net.routers[succ_vn.router].mark_dirty(succ_vn)
         vn.set_successors(inherited, net.successor_group_size)
     if response is not None:
         pred.push_successor(
@@ -212,8 +212,8 @@ def _splice(net: "IntraDomainNetwork", pred: VirtualNode,
         vn.predecessor = Pointer(
             pred.id, tuple(net.paths.hop_path(vn.router, pred.router)),
             "predecessor")
-    net.routers[pred.router].mark_dirty()
-    net.routers[vn.router].mark_dirty()
+    net.routers[pred.router].mark_dirty(pred)
+    net.routers[vn.router].mark_dirty(vn)
 
 
 def _reconcile_ring(net: "IntraDomainNetwork") -> None:
@@ -233,7 +233,7 @@ def _reconcile_ring(net: "IntraDomainNetwork") -> None:
         if n == 1:
             vn.successors = []
             vn.predecessor = None
-            net.routers[vn.router].mark_dirty()
+            net.routers[vn.router].mark_dirty(vn)
             continue
         path = net.paths.hop_path(vn.router, expected.router)
         if path is None:
@@ -245,8 +245,8 @@ def _reconcile_ring(net: "IntraDomainNetwork") -> None:
         back = net.paths.hop_path(expected.router, vn.router)
         if back is not None:
             expected.predecessor = Pointer(vn.id, tuple(back), "predecessor")
-        net.routers[vn.router].mark_dirty()
-        net.routers[expected.router].mark_dirty()
+        net.routers[vn.router].mark_dirty(vn)
+        net.routers[expected.router].mark_dirty(expected)
 
 
 def disconnect_and_reconnect_pop(net: "IntraDomainNetwork",

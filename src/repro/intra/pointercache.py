@@ -33,7 +33,9 @@ class PointerCache:
             raise ValueError("capacity must be non-negative")
         self.space = space
         self.capacity = capacity
-        self._lru: "OrderedDict[FlatId, Pointer]" = OrderedDict()
+        # LRU keyed by raw int ID value: native int hashing on the
+        # per-hop lookup path instead of FlatId hashing.
+        self._lru: "OrderedDict[int, Pointer]" = OrderedDict()
         self._ring = SortedRingMap(space)
         self.hits = 0
         self.misses = 0
@@ -43,26 +45,27 @@ class PointerCache:
         return len(self._lru)
 
     def __contains__(self, dest_id: FlatId) -> bool:
-        return dest_id in self._lru
+        return dest_id.value in self._lru
 
     def put(self, pointer: Pointer) -> None:
         """Insert/refresh a cached pointer, evicting LRU on overflow."""
         if self.capacity == 0:
             return
         dest = pointer.dest_id
-        if dest in self._lru:
-            self._lru.pop(dest)
+        iv = dest.value
+        if iv in self._lru:
+            self._lru.pop(iv)
         elif len(self._lru) >= self.capacity:
-            evicted_id, _ = self._lru.popitem(last=False)
-            self._ring.discard(evicted_id)
+            evicted_iv, _ = self._lru.popitem(last=False)
+            self._ring.discard(evicted_iv)
             self.evictions += 1
-        self._lru[dest] = pointer
+        self._lru[iv] = pointer
         self._ring.insert(dest, pointer)
 
     def get(self, dest_id: FlatId) -> Optional[Pointer]:
-        pointer = self._lru.get(dest_id)
+        pointer = self._lru.get(dest_id.value)
         if pointer is not None:
-            self._lru.move_to_end(dest_id)
+            self._lru.move_to_end(dest_id.value)
         return pointer
 
     def best_match(self, dest: FlatId) -> Optional[Pointer]:
@@ -74,30 +77,32 @@ class PointerCache:
             self.misses += 1
             return None
         self.hits += 1
-        self._lru.move_to_end(match)
-        return self._lru[match]
+        self._lru.move_to_end(match.value)
+        return self._lru[match.value]
 
     def invalidate_id(self, dest_id: FlatId) -> bool:
         """Drop the entry for a failed identifier (teardown handling)."""
-        if dest_id not in self._lru:
+        iv = dest_id.value
+        if iv not in self._lru:
             return False
-        self._lru.pop(dest_id)
-        self._ring.discard(dest_id)
+        self._lru.pop(iv)
+        self._ring.discard(iv)
         return True
 
     def invalidate_where(self, predicate: Callable[[Pointer], bool]) -> int:
         """Drop every entry whose pointer matches ``predicate`` — e.g. all
         routes traversing a failed router or link.  Returns count dropped."""
-        doomed = [dest for dest, ptr in self._lru.items() if predicate(ptr)]
-        for dest in doomed:
-            self._lru.pop(dest)
-            self._ring.discard(dest)
+        doomed = [iv for iv, ptr in self._lru.items() if predicate(ptr)]
+        for iv in doomed:
+            self._lru.pop(iv)
+            self._ring.discard(iv)
         return len(doomed)
 
     def replace(self, pointer: Pointer) -> None:
         """Refresh an entry's source route in place (path repair)."""
-        if pointer.dest_id in self._lru:
-            self._lru[pointer.dest_id] = pointer
+        iv = pointer.dest_id.value
+        if iv in self._lru:
+            self._lru[iv] = pointer
             self._ring.insert(pointer.dest_id, pointer)
 
     def entries(self) -> List[Pointer]:

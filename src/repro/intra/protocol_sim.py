@@ -280,7 +280,7 @@ class ProtocolSimulator:
         merged.sort(key=lambda p: self.net.space.distance_cw(owner.id,
                                                              p.dest_id))
         owner.set_successors(merged, self.net.successor_group_size)
-        self.net.routers[owner.router].mark_dirty()
+        self.net.routers[owner.router].mark_dirty(owner)
 
     def _pred_found(self, pkt: _ControlPacket, pred: VirtualNode) -> None:
         """The predecessor's router processes the request: it splices the
@@ -377,7 +377,7 @@ class ProtocolSimulator:
             if back is not None:
                 succ_vn.predecessor = Pointer(vn.id, tuple(back),
                                               "predecessor")
-                net.routers[succ_vn.router].mark_dirty()
+                net.routers[succ_vn.router].mark_dirty(succ_vn)
         ack = _ControlPacket(kind="ack", pending=pending, current=pkt.current,
                              route=list(reversed(pkt.route or [])), step=0)
         self._forward_source_routed(ack, lambda p: self._complete(p.pending))
@@ -388,7 +388,7 @@ class ProtocolSimulator:
         pending.state = "done"
         pending.completed_at = self.loop.now
         pending.vn.joining = False
-        self.net.routers[pending.vn.router].mark_dirty()
+        self.net.routers[pending.vn.router].mark_dirty(pending.vn)
         self._finish(pending)
 
     def _finish(self, pending: PendingJoin) -> None:

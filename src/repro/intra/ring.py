@@ -155,14 +155,14 @@ def _join_stable(net: "IntraDomainNetwork", router, vn: VirtualNode) -> float:
         back = net.paths.hop_path(succ_vn.router, router.name)
         if back is not None:
             succ_vn.predecessor = Pointer(vn.id, tuple(back), "predecessor")
-            net.routers[succ_vn.router].mark_dirty()
+            net.routers[succ_vn.router].mark_dirty(succ_vn)
 
     # Predecessor-side state: pred already has the request in hand, so no
     # further messages — it installs its pointer to the new node.
     pred_path = net.paths.hop_path(pred.router, router.name)
     pred.push_successor(Pointer(vn.id, tuple(pred_path), "successor"),
                         net.successor_group_size)
-    net.routers[pred.router].mark_dirty()
+    net.routers[pred.router].mark_dirty(pred)
     vn.predecessor = Pointer(
         pred.id, tuple(net.paths.hop_path(router.name, pred.router)),
         "predecessor")
@@ -189,7 +189,7 @@ def _join_ephemeral(net: "IntraDomainNetwork", router, vn: VirtualNode) -> float
     latency += net.paths.path_latency_ms(back_path)
 
     pred.ephemeral_children[vn.id] = Pointer(vn.id, tuple(back_path), "ephemeral")
-    net.routers[pred.router].mark_dirty()
+    net.routers[pred.router].mark_dirty(pred)
     vn.predecessor = Pointer(
         pred.id, tuple(net.paths.hop_path(router.name, pred.router)),
         "predecessor")
@@ -289,4 +289,4 @@ def refresh_ring_pointers(net: "IntraDomainNetwork",
             path = net.paths.hop_path(vn.router, pred.router)
             if path is not None:
                 vn.predecessor = Pointer(pred.id, tuple(path), "predecessor")
-        net.routers[vn.router].mark_dirty()
+        net.routers[vn.router].mark_dirty(vn)

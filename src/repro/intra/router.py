@@ -7,24 +7,35 @@ Each router owns:
   — "its successors act as default routes if it has no other successors
   that it can use to make progress";
 * a bounded :class:`PointerCache` (``PC`` in Algorithm 2);
-* a lazily rebuilt sorted index over every ID the router knows (resident
-  IDs, their successor groups, parked ephemeral IDs) so Algorithm 2's
-  ``VN.best_match`` runs in ``O(log n)``.  The paper makes the matching
-  observation for hardware: closest-ID match "can be implemented with
-  minor modifications to routers that support longest-prefix match".
+* an *incrementally maintained* sorted index over every ID the router
+  knows (resident IDs, their successor groups, parked ephemeral IDs) so
+  Algorithm 2's ``VN.best_match`` runs in ``O(log n)``.  The paper makes
+  the matching observation for hardware: closest-ID match "can be
+  implemented with minor modifications to routers that support
+  longest-prefix match".
 
-Callers that mutate virtual-node pointer state directly (the ring and
-failure machinery) must call :meth:`RoflRouter.mark_dirty` afterwards.
+Index maintenance: the index tracks, per resident virtual node, exactly
+which keys that VN contributed (its own ID plus its pointer targets).
+Callers that mutate one virtual node's pointer state directly (the ring
+and failure machinery) call ``mark_dirty(vn)`` afterwards; only that
+VN's contribution is diffed on the next lookup — an O(group size)
+refresh instead of the full O(resident state) rebuild the seed
+implementation performed.  ``mark_dirty()`` with no argument remains the
+big hammer (full rebuild) for bulk mutations.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import bisect
+import itertools
+from bisect import insort
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.idspace.identifier import FlatId, RingSpace
 from repro.intra.pointercache import PointerCache
 from repro.intra.virtualnode import Pointer, VirtualNode
+from repro.util import perf
 from repro.util.ringmap import SortedRingMap
 
 
@@ -45,11 +56,17 @@ class BestMatch:
 
 @dataclass
 class _Candidate:
-    """One indexed ID the router can make greedy progress toward."""
+    """One indexed ID the router can make greedy progress toward.
+
+    ``ptrs`` holds every pointer contribution targeting this key as
+    ``(owner_seq, cand_seq, pointer, ephemeral)`` tuples kept sorted, so
+    ``ptrs[0]`` is the same "first pointer wins" entry the seed's full
+    rebuild produced (owners in registration order, each owner's
+    candidates in successor-group order).
+    """
 
     vn: Optional[VirtualNode] = None       # set when the ID is resident here
-    pointer: Optional[Pointer] = None      # set when reached via a source route
-    pointer_ephemeral: bool = False        # pointer parks an ephemeral child
+    ptrs: List[tuple] = field(default_factory=list)
 
 
 class RoflRouter:
@@ -63,7 +80,18 @@ class RoflRouter:
         self.cache = PointerCache(space, cache_entries)
         self.default_vn = VirtualNode(id=self.router_id, router=name)
         self.vn_table[self.router_id] = self.default_vn
-        self._index: Optional[SortedRingMap] = None
+
+        # -- incremental candidate index state --
+        self._index = SortedRingMap(space)
+        self._seq = itertools.count()
+        self._owner_seq: Dict[int, int] = {}    # vn.id.value -> registration seq
+        self._iv_table: Dict[int, VirtualNode] = {}  # vn.id.value -> resident VN
+        self._contrib: Dict[int, tuple] = {}    # vn.id.value -> (seq, [key values])
+        self._dirty_owners: set = set()         # vn.id.values needing a re-diff
+        self._dirty_all = True                  # full rebuild pending
+
+        self._iv_table[self.router_id.value] = self.default_vn
+        self._owner_seq[self.router_id.value] = next(self._seq)
 
     # -- virtual-node management ------------------------------------------------
 
@@ -74,13 +102,20 @@ class RoflRouter:
         if vn.router != self.name:
             raise ValueError("virtual node belongs to another router")
         self.vn_table[vn.id] = vn
-        self.mark_dirty()
+        iv = vn.id.value
+        self._iv_table[iv] = vn
+        self._owner_seq[iv] = next(self._seq)
+        self.mark_dirty(vn)
 
     def remove_virtual_node(self, vn_id: FlatId) -> VirtualNode:
         if vn_id == self.router_id:
             raise ValueError("cannot remove the default virtual node")
         vn = self.vn_table.pop(vn_id)
-        self.mark_dirty()
+        iv = vn_id.value
+        self._iv_table.pop(iv, None)
+        self._owner_seq.pop(iv, None)
+        if not self._dirty_all:
+            self._dirty_owners.add(iv)
         return vn
 
     def resident_vns(self, include_ephemeral: bool = True) -> List[VirtualNode]:
@@ -92,38 +127,85 @@ class RoflRouter:
 
     # -- candidate index -----------------------------------------------------------
 
-    def mark_dirty(self) -> None:
-        """Invalidate the candidate index after any pointer-state change."""
-        self._index = None
+    def mark_dirty(self, vn: Optional[VirtualNode] = None) -> None:
+        """Note a pointer-state change so the index re-diffs lazily.
 
-    def _ensure_index(self) -> SortedRingMap:
-        if self._index is not None:
-            return self._index
-        index = SortedRingMap(self.space)
+        With ``vn`` given, only that virtual node's contribution is
+        refreshed on the next lookup; with no argument the whole index is
+        rebuilt (bulk or unknown mutations).
+        """
+        if vn is None:
+            self._dirty_all = True
+            self._dirty_owners.clear()
+        elif not self._dirty_all:
+            self._dirty_owners.add(vn.id.value)
 
-        def entry_for(flat_id: FlatId) -> _Candidate:
-            cand = index.get(flat_id)
-            if cand is None:
-                cand = _Candidate()
-                index.insert(flat_id, cand)
-            return cand
+    def _entry_for(self, key: FlatId) -> _Candidate:
+        cand = self._index.get(key.value)
+        if cand is None:
+            cand = _Candidate()
+            self._index.insert(key, cand)
+        return cand
 
-        for vn in self.vn_table.values():
-            entry_for(vn.id).vn = vn
-        for vn in self.vn_table.values():
-            if vn.ephemeral:
-                continue
+    def _add_contrib(self, vn: VirtualNode) -> None:
+        """Insert one VN's keys: its resident ID plus its pointer targets."""
+        iv = vn.id.value
+        seq = self._owner_seq[iv]
+        keys = [iv]
+        self._entry_for(vn.id).vn = vn
+        if not vn.ephemeral:
+            cand_seq = 0
             for ptr in vn.successors:
-                cand = entry_for(ptr.dest_id)
-                if cand.pointer is None:
-                    cand.pointer = ptr
+                insort(self._entry_for(ptr.dest_id).ptrs,
+                       (seq, cand_seq, ptr, False))
+                keys.append(ptr.dest_id.value)
+                cand_seq += 1
             for eph_id, ptr in vn.ephemeral_children.items():
-                cand = entry_for(eph_id)
-                if cand.pointer is None:
-                    cand.pointer = ptr
-                    cand.pointer_ephemeral = True
-        self._index = index
-        return index
+                insort(self._entry_for(eph_id).ptrs,
+                       (seq, cand_seq, ptr, True))
+                keys.append(eph_id.value)
+                cand_seq += 1
+        self._contrib[iv] = (seq, keys)
+
+    def _remove_contrib(self, owner_iv: int) -> None:
+        """Remove every key contribution a (possibly departed) VN made."""
+        record = self._contrib.pop(owner_iv, None)
+        if record is None:
+            return
+        seq, keys = record
+        index = self._index
+        for key_iv in keys:
+            cand = index.get(key_iv)
+            if cand is None:
+                continue
+            if key_iv == owner_iv and cand.vn is not None \
+                    and cand.vn.id.value == owner_iv:
+                cand.vn = None
+            if cand.ptrs:
+                cand.ptrs = [t for t in cand.ptrs if t[0] != seq]
+            if cand.vn is None and not cand.ptrs:
+                index.remove(key_iv)
+
+    def _flush_index(self) -> None:
+        if self._dirty_all:
+            perf.counter("router.index.rebuild")
+            self._index = SortedRingMap(self.space)
+            self._contrib = {}
+            self._seq = itertools.count()
+            self._owner_seq = {vn.id.value: next(self._seq)
+                               for vn in self.vn_table.values()}
+            for vn in self.vn_table.values():
+                self._add_contrib(vn)
+            self._dirty_all = False
+            self._dirty_owners.clear()
+        elif self._dirty_owners:
+            perf.counter("router.index.refresh", len(self._dirty_owners))
+            for owner_iv in self._dirty_owners:
+                self._remove_contrib(owner_iv)
+                vn = self._iv_table.get(owner_iv)
+                if vn is not None:
+                    self._add_contrib(vn)
+            self._dirty_owners.clear()
 
     # -- Algorithm 2 lookups -------------------------------------------------------
 
@@ -133,19 +215,32 @@ class RoflRouter:
         all resident IDs, their successor groups, and parked ephemeral IDs.
 
         "Closest, not past" on a circle is the candidate minimising the
-        clockwise distance to the destination.
+        clockwise distance to the destination; the scan below runs
+        entirely on raw int values (no ``FlatId`` allocation per hop).
         """
-        index = self._ensure_index()
-        for cand_id in index.iter_predecessors(dest):
-            cand = index[cand_id]
-            dist = self.space.distance_cw(cand_id, dest)
-            if cand.vn is not None and (include_ephemeral
-                                        or not (cand.vn.ephemeral
-                                                or cand.vn.joining)):
-                return BestMatch(cand_id, None, cand.vn, dist)
-            if cand.pointer is not None and (include_ephemeral
-                                             or not cand.pointer_ephemeral):
-                return BestMatch(cand_id, cand.pointer, None, dist)
+        self._flush_index()
+        index = self._index
+        ivalues = index.key_values()
+        n = len(ivalues)
+        if not n:
+            return None
+        payloads = index.payloads()
+        dest_iv = dest.value
+        mask = self.space.mask
+        start = (bisect.bisect_right(ivalues, dest_iv) - 1) % n
+        for offset in range(n):
+            iv = ivalues[(start - offset) % n]
+            cand = payloads[iv]
+            vn = cand.vn
+            if vn is not None and (include_ephemeral
+                                   or not (vn.ephemeral or vn.joining)):
+                return BestMatch(vn.id, None, vn, (dest_iv - iv) & mask)
+            if cand.ptrs:
+                first = cand.ptrs[0]
+                if include_ephemeral or not first[3]:
+                    ptr = first[2]
+                    return BestMatch(ptr.dest_id, ptr, None,
+                                     (dest_iv - iv) & mask)
         return None
 
     def vn_best_match_scan(self, dest: FlatId,
@@ -181,7 +276,7 @@ class RoflRouter:
         ptr = self.cache.best_match(dest)
         if ptr is None:
             return None
-        dist = self.space.distance_cw(ptr.dest_id, dest)
+        dist = self.space.distance_cw_i(ptr.dest_id.value, dest.value)
         if better_than is not None and dist >= better_than:
             return None
         return BestMatch(ptr.dest_id, ptr, None, dist)
@@ -202,10 +297,10 @@ class RoflRouter:
         self.cache.invalidate_id(pointer.dest_id)
         for vn in self.vn_table.values():
             if vn.drop_successor(pointer.dest_id):
-                self.mark_dirty()
+                self.mark_dirty(vn)
             if pointer.dest_id in vn.ephemeral_children:
                 del vn.ephemeral_children[pointer.dest_id]
-                self.mark_dirty()
+                self.mark_dirty(vn)
 
     def reroute_pointer(self, old: Pointer, new: Pointer) -> None:
         """Swap in a repaired source route for an existing pointer."""
@@ -214,10 +309,10 @@ class RoflRouter:
             for i, ptr in enumerate(vn.successors):
                 if ptr is old or ptr.dest_id == new.dest_id:
                     vn.successors[i] = new
-                    self.mark_dirty()
+                    self.mark_dirty(vn)
             if new.dest_id in vn.ephemeral_children:
                 vn.ephemeral_children[new.dest_id] = new
-                self.mark_dirty()
+                self.mark_dirty(vn)
             if vn.predecessor is not None and vn.predecessor.dest_id == new.dest_id:
                 vn.predecessor = new
 

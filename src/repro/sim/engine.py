@@ -4,6 +4,12 @@ Events fire in (time, insertion-order) order, so two events scheduled for
 the same instant run in the order they were scheduled — determinism the
 test-suite relies on.  The loop supports cancellation and a bounded run
 (``run(until=...)``) used to model timeouts.
+
+Cancellation is lazy (cancelled entries stay heaped until popped), but
+the loop tracks the live count so ``pending`` is O(1), and it compacts
+the heap whenever cancelled entries outnumber live ones — long-running
+churn workloads that schedule-and-cancel keepalive timers no longer leak
+heap memory or drag every push/pop through dead entries.
 """
 
 from __future__ import annotations
@@ -22,9 +28,15 @@ class Event:
     seq: int
     callback: Callable[[], Any] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _on_cancel: Optional[Callable[[], None]] = field(
+        default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._on_cancel is not None:
+            self._on_cancel()
 
 
 class EventLoop:
@@ -34,23 +46,35 @@ class EventLoop:
         self.now: float = 0.0
         self._heap: list = []
         self._counter = itertools.count()
+        self._cancelled = 0  # cancelled events still sitting in the heap
         self.events_run = 0
 
     def schedule(self, delay: float, callback: Callable[[], Any]) -> Event:
         """Schedule ``callback`` to run ``delay`` time units from now."""
         if delay < 0:
             raise ValueError("cannot schedule in the past")
-        event = Event(self.now + delay, next(self._counter), callback)
+        event = Event(self.now + delay, next(self._counter), callback,
+                      _on_cancel=self._note_cancel)
         heapq.heappush(self._heap, event)
         return event
 
     def schedule_at(self, time: float, callback: Callable[[], Any]) -> Event:
         return self.schedule(time - self.now, callback)
 
+    def _note_cancel(self) -> None:
+        self._cancelled += 1
+        # Compact once dead entries dominate: O(live) rebuild, amortised
+        # O(1) per cancellation.
+        if self._cancelled > len(self._heap) // 2:
+            self._heap = [e for e in self._heap if not e.cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled = 0
+
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` when idle."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled -= 1
         return self._heap[0].time if self._heap else None
 
     def step(self) -> bool:
@@ -58,7 +82,10 @@ class EventLoop:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
+            # Out of the heap: a late cancel() must not skew the count.
+            event._on_cancel = None
             self.now = event.time
             event.callback()
             self.events_run += 1
@@ -84,4 +111,4 @@ class EventLoop:
 
     @property
     def pending(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return len(self._heap) - self._cancelled

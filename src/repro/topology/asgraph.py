@@ -44,6 +44,10 @@ class ASGraph:
 
     def __init__(self) -> None:
         self.graph = nx.Graph()
+        # Relationship queries are on the hot path of every policy-path
+        # BFS and finger selection; the graph is static once built, so
+        # neighbour lists are memoised (invalidated by the mutators).
+        self._rel_cache: Dict[tuple, tuple] = {}
 
     # -- construction -------------------------------------------------------
 
@@ -51,6 +55,7 @@ class ASGraph:
         if asn in self.graph:
             raise ValueError("duplicate AS {!r}".format(asn))
         self.graph.add_node(asn, tier=tier, hosts=hosts)
+        self._rel_cache.clear()
 
     def add_customer_provider(self, customer: Hashable, provider: Hashable,
                               backup: bool = False) -> None:
@@ -58,10 +63,12 @@ class ASGraph:
         self._check_nodes(customer, provider)
         rel = Relationship.BACKUP if backup else Relationship.CUSTOMER_PROVIDER
         self.graph.add_edge(customer, provider, rel=rel, provider=provider)
+        self._rel_cache.clear()
 
     def add_peering(self, a: Hashable, b: Hashable) -> None:
         self._check_nodes(a, b)
         self.graph.add_edge(a, b, rel=Relationship.PEER, provider=None)
+        self._rel_cache.clear()
 
     def _check_nodes(self, *asns: Hashable) -> None:
         for asn in asns:
@@ -90,17 +97,22 @@ class ASGraph:
 
     def _related(self, asn: Hashable, rel: Relationship,
                  as_provider: Optional[bool] = None) -> List[Hashable]:
-        out = []
-        for nbr in self.graph.neighbors(asn):
-            data = self.graph.edges[asn, nbr]
-            if data["rel"] is not rel:
-                continue
-            if as_provider is True and data["provider"] != nbr:
-                continue
-            if as_provider is False and data["provider"] != asn:
-                continue
-            out.append(nbr)
-        return out
+        key = (asn, rel, as_provider)
+        cached = self._rel_cache.get(key)
+        if cached is None:
+            out = []
+            adj = self.graph.adj[asn]
+            for nbr, data in adj.items():
+                if data["rel"] is not rel:
+                    continue
+                if as_provider is True and data["provider"] != nbr:
+                    continue
+                if as_provider is False and data["provider"] != asn:
+                    continue
+                out.append(nbr)
+            cached = self._rel_cache[key] = tuple(out)
+        # Fresh list per call: callers are free to mutate their copy.
+        return list(cached)
 
     def providers(self, asn: Hashable) -> List[Hashable]:
         """Primary (non-backup) providers of ``asn``."""

@@ -1,0 +1,99 @@
+"""Lightweight performance counters and wall-clock timers.
+
+Every hot subsystem increments named counters (``perf.counter("fwd.hops",
+n)``) and brackets rebuild-style work in timers (``with
+perf.timed("spf.hop_tree"): ...``).  The global registry is deliberately
+dumb — a dict update per event, no locks, no sampling — so leaving the
+instrumentation on costs well under a microsecond per call and the
+benchmarks can report counter dumps alongside wall-clock numbers.
+
+The harness attaches ``PERF.snapshot()`` to every experiment result (see
+:mod:`repro.harness.experiments`), and ``benchmarks/perf_trajectory.py``
+persists the dump into ``BENCH_scaling.json`` so the repo's performance
+trajectory is machine-checkable across PRs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+
+class _Timer:
+    """Context manager recording one wall-clock interval into a registry."""
+
+    __slots__ = ("_registry", "_name", "_start")
+
+    def __init__(self, registry: "PerfRegistry", name: str):
+        self._registry = registry
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self._start
+        timers = self._registry.timers
+        cell = timers.get(self._name)
+        if cell is None:
+            timers[self._name] = [1, elapsed]
+        else:
+            cell[0] += 1
+            cell[1] += elapsed
+
+
+class PerfRegistry:
+    """A named-counter / named-timer registry.
+
+    ``counters`` maps name → running total; ``timers`` maps name →
+    ``[calls, total_seconds]``.  Registries are cheap enough to keep one
+    global (:data:`PERF`) plus ad-hoc private ones in tests.
+    """
+
+    __slots__ = ("counters", "timers")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.timers: Dict[str, List[float]] = {}
+
+    def counter(self, name: str, n: float = 1) -> None:
+        """Add ``n`` to the named counter (creating it at zero)."""
+        counters = self.counters
+        counters[name] = counters.get(name, 0) + n
+
+    def timed(self, name: str) -> _Timer:
+        """``with perf.timed("spf.rebuild"): ...`` wall-clock bracket."""
+        return _Timer(self, name)
+
+    def value(self, name: str, default: float = 0) -> float:
+        return self.counters.get(name, default)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """A JSON-ready dump: counters verbatim, timers as calls/seconds."""
+        return {
+            "counters": dict(self.counters),
+            "timers": {name: {"calls": calls, "seconds": round(secs, 6)}
+                       for name, (calls, secs) in self.timers.items()},
+        }
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.timers.clear()
+
+    def __repr__(self) -> str:
+        return "PerfRegistry(counters={}, timers={})".format(
+            len(self.counters), len(self.timers))
+
+
+#: The process-global registry the runtime instrumentation reports into.
+PERF = PerfRegistry()
+
+#: Module-level conveniences bound to the global registry so hot paths can
+#: do ``from repro.util import perf; perf.counter(...)``.
+counter = PERF.counter
+timed = PERF.timed
+snapshot = PERF.snapshot
+reset = PERF.reset
+value = PERF.value

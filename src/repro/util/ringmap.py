@@ -13,14 +13,58 @@ IDs in sorted order, the closest namespace distance match is either the
 shortest prefix match or the one right before it in the sorted list"
 (Section 3.3).  We implement exactly that: a bisect into the sorted key
 list and an inspection of the neighbouring entry.
+
+Hot-path layout: alongside the ``FlatId`` key list the map keeps a
+lock-step ``_ivalues`` array of raw ``int`` values.  Every bisect runs on
+the int array (native int comparisons instead of ``total_ordering``
+dispatch) and payloads are stored in a dict keyed by int value (native
+int hashing instead of tuple hashing), which is where the greedy-routing
+inner loops spend their time.  The ``*_value`` methods expose the same
+queries directly in the int domain for callers that avoid ``FlatId``
+allocation altogether.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.idspace.identifier import FlatId, RingSpace
+
+
+class RingKeysView(Sequence):
+    """A zero-copy, read-only view over a map's sorted key list.
+
+    Returned by :meth:`SortedRingMap.keys` so hot loops can iterate and
+    index the keys without the per-call list copy the old API made.  The
+    view is live: it reflects later mutations of the map.
+    """
+
+    __slots__ = ("_keys",)
+
+    def __init__(self, keys: List[FlatId]):
+        self._keys = keys
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __getitem__(self, index):
+        result = self._keys[index]
+        return RingKeysView(result) if isinstance(index, slice) else result
+
+    def __iter__(self) -> Iterator[FlatId]:
+        return iter(self._keys)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._keys
+
+    def __repr__(self) -> str:
+        return "RingKeysView(n={})".format(len(self._keys))
+
+
+def _ival(key: Union[FlatId, int]) -> int:
+    """The raw int value of a key given as either ``FlatId`` or ``int``."""
+    return key if type(key) is int else key.value
 
 
 class SortedRingMap:
@@ -29,48 +73,69 @@ class SortedRingMap:
     def __init__(self, space: RingSpace):
         self.space = space
         self._keys: List[FlatId] = []
-        self._values: Dict[FlatId, Any] = {}
+        self._ivalues: List[int] = []          # lock-step raw values
+        self._payloads: dict = {}              # int value -> stored payload
 
     def __len__(self) -> int:
         return len(self._keys)
 
-    def __contains__(self, key: FlatId) -> bool:
-        return key in self._values
+    def __contains__(self, key: Union[FlatId, int]) -> bool:
+        return _ival(key) in self._payloads
 
     def __iter__(self) -> Iterator[FlatId]:
         return iter(self._keys)
 
-    def __getitem__(self, key: FlatId) -> Any:
-        return self._values[key]
+    def __getitem__(self, key: Union[FlatId, int]) -> Any:
+        return self._payloads[_ival(key)]
 
-    def get(self, key: FlatId, default: Any = None) -> Any:
-        return self._values.get(key, default)
+    def get(self, key: Union[FlatId, int], default: Any = None) -> Any:
+        return self._payloads.get(_ival(key), default)
 
     def items(self) -> Iterator[Tuple[FlatId, Any]]:
+        payloads = self._payloads
         for key in self._keys:
-            yield key, self._values[key]
+            yield key, payloads[key.value]
 
-    def keys(self) -> List[FlatId]:
-        return list(self._keys)
+    def keys(self) -> RingKeysView:
+        """A read-only, zero-copy view of the sorted keys.
+
+        Callers that need an independent snapshot (e.g. to mutate the map
+        while iterating) should copy explicitly with ``list(ring.keys())``.
+        """
+        return RingKeysView(self._keys)
+
+    def key_values(self) -> Sequence[int]:
+        """The sorted raw int values, zero-copy.  Do not mutate."""
+        return self._ivalues
+
+    def payloads(self) -> dict:
+        """The int-value-keyed payload dict, zero-copy.  Do not mutate."""
+        return self._payloads
 
     def insert(self, key: FlatId, value: Any = None) -> None:
         """Insert or replace the value stored at ``key``."""
-        if key not in self._values:
-            bisect.insort(self._keys, key)
-        self._values[key] = value
+        iv = key.value
+        if iv not in self._payloads:
+            index = bisect.bisect_left(self._ivalues, iv)
+            self._ivalues.insert(index, iv)
+            self._keys.insert(index, key)
+        self._payloads[iv] = value
 
-    def remove(self, key: FlatId) -> Any:
+    def remove(self, key: Union[FlatId, int]) -> Any:
         """Remove ``key``; raises ``KeyError`` if absent."""
-        value = self._values.pop(key)  # KeyError propagates
-        index = bisect.bisect_left(self._keys, key)
+        iv = _ival(key)
+        value = self._payloads.pop(iv)  # KeyError propagates
+        index = bisect.bisect_left(self._ivalues, iv)
+        del self._ivalues[index]
         del self._keys[index]
         return value
 
-    def discard(self, key: FlatId) -> None:
-        if key in self._values:
+    def discard(self, key: Union[FlatId, int]) -> None:
+        if _ival(key) in self._payloads:
             self.remove(key)
 
-    def successor(self, key: FlatId, strict: bool = True) -> Optional[FlatId]:
+    def successor(self, key: Union[FlatId, int],
+                  strict: bool = True) -> Optional[FlatId]:
         """The next key clockwise from ``key`` (wrapping).
 
         With ``strict=False`` a stored key equal to ``key`` is returned
@@ -79,23 +144,27 @@ class SortedRingMap:
         """
         if not self._keys:
             return None
+        iv = _ival(key)
         if strict:
-            index = bisect.bisect_right(self._keys, key)
+            index = bisect.bisect_right(self._ivalues, iv)
         else:
-            index = bisect.bisect_left(self._keys, key)
+            index = bisect.bisect_left(self._ivalues, iv)
         return self._keys[index % len(self._keys)]
 
-    def predecessor(self, key: FlatId, strict: bool = True) -> Optional[FlatId]:
+    def predecessor(self, key: Union[FlatId, int],
+                    strict: bool = True) -> Optional[FlatId]:
         """The previous key counter-clockwise from ``key`` (wrapping)."""
         if not self._keys:
             return None
+        iv = _ival(key)
         if strict:
-            index = bisect.bisect_left(self._keys, key) - 1
+            index = bisect.bisect_left(self._ivalues, iv) - 1
         else:
-            index = bisect.bisect_right(self._keys, key) - 1
+            index = bisect.bisect_right(self._ivalues, iv) - 1
         return self._keys[index % len(self._keys)]
 
-    def closest_not_past(self, current: FlatId, dest: FlatId) -> Optional[FlatId]:
+    def closest_not_past(self, current: Union[FlatId, int],
+                         dest: Union[FlatId, int]) -> Optional[FlatId]:
         """Greedy best match: the stored key closest to ``dest`` without
         passing it, and strictly past ``current``.  ``None`` if no key
         makes progress.
@@ -107,30 +176,56 @@ class SortedRingMap:
         candidate = self.predecessor(dest, strict=False)
         if candidate is None:
             return None
-        if self.space.progress(current, candidate, dest):
+        if self.space.progress_i(_ival(current), candidate.value, _ival(dest)):
             return candidate
         return None
 
-    def iter_predecessors(self, key: FlatId) -> Iterator[FlatId]:
+    def closest_not_past_value(self, current: int, dest: int) -> Optional[int]:
+        """Int-domain :meth:`closest_not_past`: raw values in and out."""
+        ivalues = self._ivalues
+        if not ivalues:
+            return None
+        index = (bisect.bisect_right(ivalues, dest) - 1) % len(ivalues)
+        candidate = ivalues[index]
+        mask = self.space.mask
+        advanced = (candidate - current) & mask
+        if advanced and advanced <= ((dest - current) & mask):
+            return candidate
+        return None
+
+    def iter_predecessors(self, key: Union[FlatId, int]) -> Iterator[FlatId]:
         """Yield stored keys counter-clockwise starting at ``key`` itself
         (if stored) or its predecessor, wrapping once around the ring."""
         if not self._keys:
             return
-        start = (bisect.bisect_right(self._keys, key) - 1) % len(self._keys)
+        iv = _ival(key)
+        start = (bisect.bisect_right(self._ivalues, iv) - 1) % len(self._keys)
         for offset in range(len(self._keys)):
             yield self._keys[(start - offset) % len(self._keys)]
 
-    def in_arc(self, low: FlatId, high: FlatId) -> List[FlatId]:
+    def iter_predecessor_values(self, key: Union[FlatId, int]) -> Iterator[int]:
+        """Int-domain :meth:`iter_predecessors`: yields raw values."""
+        ivalues = self._ivalues
+        n = len(ivalues)
+        if not n:
+            return
+        start = (bisect.bisect_right(ivalues, _ival(key)) - 1) % n
+        for offset in range(n):
+            yield ivalues[(start - offset) % n]
+
+    def in_arc(self, low: Union[FlatId, int],
+               high: Union[FlatId, int]) -> List[FlatId]:
         """All stored keys on the clockwise arc ``[low, high]`` inclusive."""
         if not self._keys:
             return []
-        if low <= high:
-            lo = bisect.bisect_left(self._keys, low)
-            hi = bisect.bisect_right(self._keys, high)
+        low_v, high_v = _ival(low), _ival(high)
+        if low_v <= high_v:
+            lo = bisect.bisect_left(self._ivalues, low_v)
+            hi = bisect.bisect_right(self._ivalues, high_v)
             return self._keys[lo:hi]
         # Wrapping arc: [low, top] + [bottom, high].
-        lo = bisect.bisect_left(self._keys, low)
-        hi = bisect.bisect_right(self._keys, high)
+        lo = bisect.bisect_left(self._ivalues, low_v)
+        hi = bisect.bisect_right(self._ivalues, high_v)
         return self._keys[lo:] + self._keys[:hi]
 
     def __repr__(self) -> str:

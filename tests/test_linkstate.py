@@ -152,3 +152,73 @@ class TestFloodModel:
         model = FloodModel(lsmap, stats=stats)
         cost = model.lsa_flood(lsmap.live_routers()[0])
         assert stats.total_messages("lsa") == cost > 0
+
+
+class TestSelectiveInvalidation:
+    """Failure events evict only SPF trees touching the failed element."""
+
+    def test_link_down_keeps_untouched_trees(self, lsmap):
+        paths = PathCache(lsmap)
+        routers = lsmap.live_routers()
+        for src in routers[:6]:
+            paths.hop_path(src, routers[-1])
+        assert len(paths._hop_paths) == 6
+        a, b = next(iter(lsmap.live_graph.edges()))
+        lsmap.fail_link(a, b)
+        # Every surviving tree must be exact: recompute and compare.
+        survivors = dict(paths._hop_paths)
+        assert all(a not in tree or b not in tree
+                   for tree in survivors.values())
+        for src, tree in survivors.items():
+            fresh = PathCache(lsmap)
+            for dst in routers:
+                assert paths.hop_dist(src, dst) == fresh.hop_dist(src, dst)
+
+    def test_router_down_evicts_only_touching_trees(self, lsmap):
+        paths = PathCache(lsmap)
+        routers = lsmap.live_routers()
+        for src in routers:
+            paths.hop_path(src, src)
+        victim = routers[0]
+        lsmap.fail_router(victim)
+        assert victim not in paths._hop_paths
+        # A fully connected graph reaches everywhere, so all trees touched
+        # the victim and everything is evicted — but queries still work.
+        for src in routers[1:4]:
+            fresh = PathCache(lsmap)
+            for dst in routers[1:4]:
+                assert paths.hop_dist(src, dst) == fresh.hop_dist(src, dst)
+
+    def test_restore_clears_everything(self, lsmap):
+        paths = PathCache(lsmap)
+        routers = lsmap.live_routers()
+        a, b = next(iter(lsmap.live_graph.edges()))
+        lsmap.fail_link(a, b)
+        for src in routers[:4]:
+            paths.hop_path(src, routers[-1])
+        lsmap.restore_link(a, b)
+        assert paths._hop_paths == {}
+        # Post-restore paths may use the restored link again.
+        assert paths.hop_dist(a, b) == 1
+
+    def test_latency_cache_also_selective(self, lsmap):
+        paths = PathCache(lsmap)
+        routers = lsmap.live_routers()
+        for src in routers[:5]:
+            paths.latency_ms(src, routers[-1])
+        a, b = next(iter(lsmap.live_graph.edges()))
+        lsmap.fail_link(a, b)
+        for src, dists in paths._latency_dist.items():
+            fresh = PathCache(lsmap)
+            assert paths.latency_ms(src, routers[-1]) \
+                == fresh.latency_ms(src, routers[-1])
+
+    def test_generation_fallback_still_works(self, lsmap):
+        # A cache that never saw the events (constructed fresh, then the
+        # generation diverges artificially) falls back to a full clear.
+        paths = PathCache(lsmap)
+        routers = lsmap.live_routers()
+        paths.hop_path(routers[0], routers[-1])
+        paths._generation = -999
+        assert paths.hop_path(routers[0], routers[-1]) is not None
+        assert paths._generation == lsmap.generation

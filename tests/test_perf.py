@@ -1,0 +1,85 @@
+"""Tests for the perf counter/timer registry (repro.util.perf)."""
+
+import time
+
+from repro.util import perf
+from repro.util.perf import PERF, PerfRegistry
+
+
+def test_counter_accumulates():
+    reg = PerfRegistry()
+    reg.counter("x")
+    reg.counter("x", 4)
+    reg.counter("y", 2.5)
+    assert reg.value("x") == 5
+    assert reg.value("y") == 2.5
+    assert reg.value("missing") == 0
+    assert reg.value("missing", default=-1) == -1
+
+
+def test_timer_records_calls_and_seconds():
+    reg = PerfRegistry()
+    with reg.timed("work"):
+        time.sleep(0.01)
+    with reg.timed("work"):
+        pass
+    calls, seconds = reg.timers["work"]
+    assert calls == 2
+    assert seconds >= 0.01
+
+
+def test_snapshot_is_json_shaped_and_detached():
+    reg = PerfRegistry()
+    reg.counter("a", 3)
+    with reg.timed("t"):
+        pass
+    snap = reg.snapshot()
+    assert snap["counters"] == {"a": 3}
+    assert snap["timers"]["t"]["calls"] == 1
+    assert snap["timers"]["t"]["seconds"] >= 0
+    # The snapshot must not alias live registry state.
+    reg.counter("a")
+    assert snap["counters"]["a"] == 3
+
+
+def test_reset_clears_everything():
+    reg = PerfRegistry()
+    reg.counter("a")
+    with reg.timed("t"):
+        pass
+    reg.reset()
+    assert reg.counters == {}
+    assert reg.timers == {}
+
+
+def test_module_aliases_hit_global_registry():
+    PERF.reset()
+    perf.counter("alias.check", 2)
+    assert PERF.value("alias.check") == 2
+    snap = perf.snapshot()
+    assert snap["counters"]["alias.check"] == 2
+    perf.reset()
+    assert PERF.counters == {}
+
+
+def test_experiment_drivers_attach_perf(tmp_path):
+    from repro.harness import experiments
+
+    result = experiments.fig5b_join_overhead_cdf(
+        profiles=("AS3967",), n_hosts=30, seed=0)
+    assert "perf" in result
+    snap = result["perf"]
+    assert "counters" in snap and "timers" in snap
+    # Joins route lookup packets, so forwarding counters must be present.
+    assert snap["counters"].get("fwd.packets", 0) > 0
+    assert any(name.startswith("experiment.") for name in snap["timers"])
+
+
+def test_report_formatters_skip_perf_key():
+    from repro.harness import experiments, report
+
+    result = experiments.fig5b_join_overhead_cdf(
+        profiles=("AS3967",), n_hosts=30, seed=0)
+    text = report.format_fig5b(result)
+    assert "AS3967" in text
+    assert "perf" not in text

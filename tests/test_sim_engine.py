@@ -97,3 +97,49 @@ def test_peek_time_skips_cancelled():
     loop.schedule(2.0, lambda: None)
     first.cancel()
     assert loop.peek_time() == 2.0
+
+
+def test_pending_is_exact_with_cancellations():
+    loop = EventLoop()
+    events = [loop.schedule(float(i), lambda: None) for i in range(10)]
+    assert loop.pending == 10
+    for event in events[:4]:
+        event.cancel()
+    assert loop.pending == 6
+    loop.run()
+    assert loop.pending == 0
+    assert loop.events_run == 6
+
+
+def test_double_cancel_counts_once():
+    loop = EventLoop()
+    event = loop.schedule(1.0, lambda: None)
+    loop.schedule(2.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert loop.pending == 1
+
+
+def test_cancel_after_run_is_harmless():
+    loop = EventLoop()
+    event = loop.schedule(1.0, lambda: None)
+    loop.schedule(2.0, lambda: None)
+    loop.step()
+    event.cancel()  # already executed; must not skew the live count
+    assert loop.pending == 1
+    assert loop.run() == 1
+
+
+def test_heap_compacts_when_cancelled_dominate():
+    loop = EventLoop()
+    keep = loop.schedule(100.0, lambda: None)
+    doomed = [loop.schedule(float(i), lambda: None) for i in range(1000)]
+    for event in doomed:
+        event.cancel()
+    # Compaction keeps the heap near the live size instead of 1001.
+    assert len(loop._heap) <= 2 * loop.pending + 1
+    assert loop.pending == 1
+    assert loop.peek_time() == 100.0
+    keep.cancel()
+    assert loop.pending == 0
+    assert not loop.run()
