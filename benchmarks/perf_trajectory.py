@@ -38,12 +38,21 @@ INTER_POPULATIONS = (500, 1000, 2500, 5000, 10000)
 INTRA_POPULATIONS = (500, 1000, 2500, 5000, 10000)
 QUICK_POPULATIONS = (100, 300)
 
+#: (scenario, arrival-rate multiplier) points for the workload sweep —
+#: the same builtin churn scenario driven harder and harder.
+WORKLOAD_SWEEP = (1.0, 2.0, 4.0, 8.0)
+QUICK_WORKLOAD_SWEEP = (1.0, 2.0)
+
 #: Keys every BENCH_scaling.json must carry (checked by CI and by this
 #: script itself after writing).
 REQUIRED_TOP_KEYS = ("generated_unix", "quick", "peak_rss_mb",
-                     "interdomain", "intradomain")
+                     "interdomain", "intradomain", "workload")
 REQUIRED_ROW_KEYS = ("hosts", "join_seconds", "joins_per_sec",
                      "send_seconds", "sends_per_sec", "perf")
+REQUIRED_WORKLOAD_ROW_KEYS = ("scenario", "rate_multiplier", "events_run",
+                              "events_per_sec", "wall_seconds",
+                              "delivery_rate", "min_window_delivery_rate",
+                              "final_live_hosts")
 
 
 def peak_rss_mb() -> float:
@@ -125,6 +134,45 @@ def sweep_intra(populations, n_routers: int = 67, n_sends: int = 500,
     return rows
 
 
+def sweep_workload(multipliers, scenario_name: str = "steady-churn",
+                   seed: int = 0) -> list:
+    """Drive the builtin churn scenario at increasing arrival rates and
+    record event throughput plus steady-churn delivery rate."""
+    from repro.workload import builtin_scenario, run_scenario
+
+    rows = []
+    for mult in multipliers:
+        scenario = builtin_scenario(scenario_name, seed=seed)
+        for phase in scenario.phases:
+            if phase.churn is not None:
+                phase.churn.arrival_rate *= mult
+            if phase.traffic is not None:
+                phase.traffic.rate *= mult
+        result = run_scenario(scenario)
+        summary = result.summary
+        row = {
+            "scenario": scenario_name,
+            "rate_multiplier": mult,
+            "events_run": result.totals["events_run"],
+            "events_per_sec": round(result.events_per_sec, 1),
+            "wall_seconds": round(result.wall_seconds, 3),
+            "delivery_rate": summary["delivery_rate"],
+            "min_window_delivery_rate": summary["min_window_delivery_rate"],
+            "joins": result.totals["joins"],
+            "departures": result.totals["departures"],
+            "final_live_hosts": result.totals["final_live_hosts"],
+            "peak_rss_mb": round(peak_rss_mb(), 1),
+        }
+        rows.append(row)
+        print("  workload x{:<4} {:>7} events: {:>8.1f} events/s  "
+              "delivery {}  hosts {}".format(
+                  mult, row["events_run"], row["events_per_sec"],
+                  "-" if row["delivery_rate"] is None
+                  else "{:.3f}".format(row["delivery_rate"]),
+                  row["final_live_hosts"]))
+    return rows
+
+
 def validate(data: dict) -> None:
     """Raise ``ValueError`` unless ``data`` has the required shape."""
     for key in REQUIRED_TOP_KEYS:
@@ -139,6 +187,13 @@ def validate(data: dict) -> None:
                 if key not in row:
                     raise ValueError("row in {!r} missing key {!r}".format(
                         section, key))
+    if not data["workload"]:
+        raise ValueError("section 'workload' is empty")
+    for row in data["workload"]:
+        for key in REQUIRED_WORKLOAD_ROW_KEYS:
+            if key not in row:
+                raise ValueError(
+                    "row in 'workload' missing key {!r}".format(key))
 
 
 def main(argv=None) -> int:
@@ -155,10 +210,15 @@ def main(argv=None) -> int:
     out_path = args.out or os.path.join(os.path.dirname(__file__), "..",
                                         "BENCH_scaling.json")
 
+    workload_mults = (QUICK_WORKLOAD_SWEEP if args.quick
+                      else WORKLOAD_SWEEP)
+
     print("interdomain sweep (populations {}):".format(inter_pops))
     inter_rows = sweep_inter(inter_pops)
     print("intradomain sweep (populations {}):".format(intra_pops))
     intra_rows = sweep_intra(intra_pops)
+    print("workload sweep (rate multipliers {}):".format(workload_mults))
+    workload_rows = sweep_workload(workload_mults)
 
     data = {
         "generated_unix": int(time.time()),
@@ -166,6 +226,7 @@ def main(argv=None) -> int:
         "peak_rss_mb": round(peak_rss_mb(), 1),
         "interdomain": inter_rows,
         "intradomain": intra_rows,
+        "workload": workload_rows,
     }
     validate(data)
     with open(out_path, "w") as fh:

@@ -43,6 +43,8 @@ def main() -> None:
          R.format_fig7),
         (lambda: E.fig7b_host_failure(n_hosts=500 * k, n_failures=150),
          R.format_fig7b),
+        (lambda: E.fig7c_router_recovery(n_hosts=300 * k, n_failures=3 * k),
+         R.format_fig7c),
         (lambda: E.fig8a_inter_join(n_ases=100, n_hosts=400 * k),
          R.format_fig8a),
         (lambda: E.fig8b_inter_stretch(n_ases=100, n_hosts=300 * k,

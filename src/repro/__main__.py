@@ -4,13 +4,20 @@ Commands:
 
 * ``figures [--full] [--only PREFIX]`` — regenerate the paper's
   evaluation figures (same as ``examples/reproduce_paper.py``).
+* ``workload <scenario.json|builtin> [--seed N] [--json PATH]`` — run a
+  declarative churn/traffic/fault scenario (``--list`` names builtins).
 * ``quickstart`` — a 30-second end-to-end tour of the intradomain system.
 * ``info`` — package, paper, and inventory summary.
+
+``--help`` lists every subcommand; an unknown subcommand exits with
+status 2 and a usage message on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 
@@ -39,6 +46,9 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         "fig7": (lambda: E.fig7_partition_repair(), R.format_fig7),
         "fig7b": (lambda: E.fig7b_host_failure(n_hosts=500 * k),
                   R.format_fig7b),
+        "fig7c": (lambda: E.fig7c_router_recovery(n_hosts=300 * k,
+                                                  n_failures=3 * k),
+                  R.format_fig7c),
         "fig8a": (lambda: E.fig8a_inter_join(n_hosts=400 * k),
                   R.format_fig8a),
         "fig8b": (lambda: E.fig8b_inter_stretch(n_hosts=300 * k,
@@ -92,6 +102,85 @@ def _cmd_quickstart(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro.workload import (BUILTIN_SCENARIOS, Scenario, ScenarioError,
+                                builtin_scenario, run_scenario)
+
+    if args.list:
+        for name in sorted(BUILTIN_SCENARIOS):
+            scenario = builtin_scenario(name)
+            print("{:<16} {:>5.0f}s  {}/{}  phases={} faults={}".format(
+                name, scenario.duration, scenario.network.kind,
+                scenario.network.n_routers if scenario.network.kind == "intra"
+                else scenario.network.n_ases,
+                len(scenario.phases), len(scenario.faults)))
+        return 0
+    if args.scenario is None:
+        print("workload: need a scenario (builtin name or JSON file); "
+              "--list shows builtins", file=sys.stderr)
+        return 2
+
+    try:
+        if args.scenario in BUILTIN_SCENARIOS:
+            scenario = builtin_scenario(args.scenario, seed=args.seed)
+        elif os.path.exists(args.scenario):
+            scenario = Scenario.load(args.scenario)
+            if args.seed != 0:
+                scenario.seed = args.seed
+        else:
+            raise ScenarioError(
+                "no such builtin or file: {!r} (builtins: {})".format(
+                    args.scenario, ", ".join(sorted(BUILTIN_SCENARIOS))))
+    except ScenarioError as exc:
+        print("workload: {}".format(exc), file=sys.stderr)
+        return 2
+
+    result = run_scenario(scenario)
+
+    if args.json is not None:
+        payload = json.dumps(result.deterministic_view(), indent=2,
+                             sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(payload + "\n")
+            print("wrote {}".format(args.json))
+        return 0
+
+    print("scenario {!r} (seed {}): {} virtual time units, {} events "
+          "({:.0f} events/sec wall)".format(
+              scenario.name, scenario.seed, scenario.duration,
+              result.totals["events_run"], result.events_per_sec))
+    print("{:>8} {:>6} {:>6} {:>9} {:>8} {:>10} {:>7}".format(
+        "t", "hosts", "sent", "delivery", "stretch", "ctrl msgs", "state"))
+    for row in result.samples:
+        print("{:>8.1f} {:>6} {:>6} {:>9} {:>8} {:>10} {:>7}".format(
+            row["t"], row["live_hosts"], row["sent"],
+            "-" if row["delivery_rate"] is None
+            else "{:.3f}".format(row["delivery_rate"]),
+            "-" if row["mean_stretch"] is None
+            else "{:.2f}".format(row["mean_stretch"]),
+            row["control_messages"], row["state_entries"]))
+    for record in result.fault_log:
+        print("fault @{:>6.1f}: {}".format(
+            record["at"], {k: v for k, v in record.items() if k != "at"}))
+    summary = result.summary
+    print("joins {} (+{} warmup), departures {}, delivery {}, "
+          "min-window delivery {}".format(
+              result.totals["joins"], result.totals["warmup_hosts"],
+              result.totals["departures"],
+              "-" if summary["delivery_rate"] is None
+              else "{:.4f}".format(summary["delivery_rate"]),
+              "-" if summary["min_window_delivery_rate"] is None
+              else "{:.4f}".format(summary["min_window_delivery_rate"])))
+    if "stretch" in summary:
+        print("stretch mean {:.2f} p95 {:.2f}; control messages {}".format(
+            summary["stretch"]["mean"], summary["stretch"]["p95"],
+            summary["control_messages"]))
+    return 0
+
+
 def _cmd_info(_args: argparse.Namespace) -> int:
     import repro
     print("repro {} — ROFL: Routing on Flat Labels (SIGCOMM 2006)".format(
@@ -115,6 +204,21 @@ def main(argv=None) -> int:
     figures.add_argument("--only", default=None,
                          help="run only figures whose id starts with this")
     figures.set_defaults(func=_cmd_figures)
+
+    workload = sub.add_parser(
+        "workload",
+        help="run a declarative churn/traffic/fault scenario")
+    workload.add_argument("scenario", nargs="?", default=None,
+                          help="builtin scenario name or path to a "
+                               "scenario JSON file")
+    workload.add_argument("--seed", type=int, default=0,
+                          help="override the scenario seed")
+    workload.add_argument("--json", default=None, metavar="PATH",
+                          help="write the deterministic result as JSON "
+                               "('-' for stdout)")
+    workload.add_argument("--list", action="store_true",
+                          help="list builtin scenarios and exit")
+    workload.set_defaults(func=_cmd_workload)
 
     quick = sub.add_parser("quickstart", help="run the quickstart scenario")
     quick.set_defaults(func=_cmd_quickstart)

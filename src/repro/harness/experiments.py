@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import functools
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.cmu_ethernet import CmuEthernetNetwork
 from repro.baselines.ospf_routing import OspfHostRouting
@@ -238,29 +238,53 @@ def fig6c_memory(profile: str = "AS3967",
 
 # ---------------------------------------------------------------------------
 # Fig 7 — partition repair overhead vs IDs per PoP
+#
+# The recovery experiments (7/7b/7c) are thin Scenario instances over the
+# repro.workload engine: the scenario declares the population and the
+# fault, the driver runs it, and the driver's fault log carries the
+# repair measurements back out.  Result-dict shapes are unchanged from
+# the hand-rolled originals.
 # ---------------------------------------------------------------------------
+
+def _recovery_scenario(name: str, seed: int, warmup_hosts: int,
+                       faults: List["FaultSpec"],
+                       duration: float = 1.0,
+                       phases: Optional[List] = None) -> "Scenario":
+    from repro.workload.scenario import NetworkSpec, Scenario
+    return Scenario(name=name, seed=seed, duration=duration,
+                    warmup_hosts=warmup_hosts, sample_interval=duration,
+                    network=NetworkSpec(kind="intra"),
+                    phases=list(phases or []), faults=faults)
+
 
 @_with_perf
 def fig7_partition_repair(profile: str = "AS3967",
                           ids_per_pop: Sequence[int] = (1, 4, 16, 64),
                           seed: int = 0, full_scale: bool = False) -> Dict:
+    from repro.workload.driver import run_scenario
+    from repro.workload.scenario import FaultSpec
+
     series = []
     for per_pop in ids_per_pop:
         topo = _isp(profile, seed, full_scale)
         net = IntraDomainNetwork(topo, seed=seed)
         n_pops = len(topo.pops)
-        net.join_random_hosts(per_pop * n_pops)
         rng = derive_rng(seed, "fig7", per_pop)
         pop = rng.choice(sorted(topo.pops))
-        report = net.partition_pop(pop)
+        scenario = _recovery_scenario(
+            "fig7-partition", seed, per_pop * n_pops,
+            [FaultSpec(kind="pop_partition", at=0.5, params={"pop": pop})])
+        result = run_scenario(scenario, network=net)
+        report = next(f for f in result.fault_log
+                      if f["kind"] == "pop_partition")
         # A rejoin baseline: what rejoining the PoP's IDs would cost.
         join_costs = net.stats.operation_costs("join")
         avg_join = sum(join_costs) / len(join_costs) if join_costs else 1.0
         series.append({
             "ids_per_pop": per_pop,
-            "ids_in_pop": report.ids_in_pop,
-            "repair_messages": report.total_messages,
-            "rejoin_baseline": report.ids_in_pop * avg_join,
+            "ids_in_pop": report["ids_in_pop"],
+            "repair_messages": report["repair_messages"],
+            "rejoin_baseline": report["ids_in_pop"] * avg_join,
         })
     return {"profile": profile, "series": series}
 
@@ -273,15 +297,18 @@ def fig7_partition_repair(profile: str = "AS3967",
 def fig7b_host_failure(profile: str = "AS3967", n_hosts: int = 500,
                        n_failures: int = 100, seed: int = 0,
                        full_scale: bool = False) -> Dict:
+    from repro.workload.driver import run_scenario
+    from repro.workload.scenario import FaultSpec
+
     topo = _isp(profile, seed, full_scale)
     net = IntraDomainNetwork(topo, seed=seed)
-    net.join_random_hosts(n_hosts)
+    scenario = _recovery_scenario(
+        "fig7b-host-failure", seed, n_hosts,
+        [FaultSpec(kind="host_crash", at=0.5,
+                   params={"count": n_failures})])
+    run_scenario(scenario, network=net)
     join_costs = net.stats.operation_costs("join")
-    rng = derive_rng(seed, "fig7b")
-    failure_costs = []
-    for _ in range(n_failures):
-        victim = rng.choice(sorted(net.hosts))
-        failure_costs.append(net.fail_host(victim))
+    failure_costs = net.stats.operation_costs("host_failure")
     net.check_ring()
     return {
         "profile": profile,
@@ -289,6 +316,51 @@ def fig7b_host_failure(profile: str = "AS3967", n_hosts: int = 500,
         "avg_failure": sum(failure_costs) / len(failure_costs),
         "failure_over_join": (sum(failure_costs) / len(failure_costs))
                              / (sum(join_costs) / len(join_costs)),
+    }
+
+
+# ---------------------------------------------------------------------------
+# §6.2 (text) / Fig 7c — router-failure recovery under live traffic
+# ---------------------------------------------------------------------------
+
+@_with_perf
+def fig7c_router_recovery(profile: str = "AS3967", n_hosts: int = 300,
+                          n_failures: int = 3, probe_rate: float = 40.0,
+                          seed: int = 0, full_scale: bool = False) -> Dict:
+    """Crash routers one at a time under open-loop probe traffic and
+    measure per-crash repair cost plus the delivery rate the survivors
+    sustain while the ring heals."""
+    from repro.workload.driver import run_scenario
+    from repro.workload.scenario import FaultSpec, Phase, TrafficSpec
+
+    topo = _isp(profile, seed, full_scale)
+    net = IntraDomainNetwork(topo, seed=seed)
+    duration = float(n_failures + 1)
+    scenario = _recovery_scenario(
+        "fig7c-router-recovery", seed, n_hosts,
+        [FaultSpec(kind="router_crash", at=float(i + 1) - 0.5,
+                   params={"count": 1}) for i in range(n_failures)],
+        duration=duration,
+        phases=[Phase(name="probe", start=0.0, end=duration,
+                      traffic=TrafficSpec(rate=probe_rate))])
+    result = run_scenario(scenario, network=net)
+    net.check_ring()
+    crashes = [f for f in result.fault_log if f["kind"] == "router_crash"]
+    join_costs = net.stats.operation_costs("join")
+    avg_join = sum(join_costs) / len(join_costs) if join_costs else 1.0
+    repair = [c["repair_messages"] for c in crashes]
+    avg_repair = sum(repair) / len(repair) if repair else 0.0
+    return {
+        "profile": profile,
+        "series": [{"router": c["routers"][0],
+                    "repair_messages": c["repair_messages"]}
+                   for c in crashes],
+        "avg_join": avg_join,
+        "avg_repair": avg_repair,
+        "repair_over_join": avg_repair / avg_join,
+        "delivery_rate": result.summary["delivery_rate"],
+        "min_window_delivery_rate":
+            result.summary["min_window_delivery_rate"],
     }
 
 

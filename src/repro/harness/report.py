@@ -113,6 +113,23 @@ def format_fig7b(result: Dict) -> str:
     return "\n".join(lines)
 
 
+def format_fig7c(result: Dict) -> str:
+    lines = [_rule("§6.2 — router-failure recovery under traffic ({})".format(
+        result["profile"]))]
+    lines.append("{:>10} {:>14}".format("router", "repair msgs"))
+    for row in result["series"]:
+        lines.append("{:>10} {:>14}".format(row["router"],
+                                            row["repair_messages"]))
+    lines.append("avg repair {:.0f} msgs ({:.1f}x avg join); delivery {:.3f}"
+                 " (worst window {:.3f})".format(
+                     result["avg_repair"], result["repair_over_join"],
+                     result["delivery_rate"],
+                     result["min_window_delivery_rate"]))
+    lines.append("paper: routers recover via failover pointers; traffic keeps"
+                 " flowing while the ring heals")
+    return "\n".join(lines)
+
+
 def format_fig8a(result: Dict) -> str:
     lines = [_rule("Fig 8a — interdomain join overhead by strategy")]
     lines.append("{:<16} {:>12} {:>12}".format(

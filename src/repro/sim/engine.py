@@ -48,21 +48,30 @@ class EventLoop:
         self._counter = itertools.count()
         self._cancelled = 0  # cancelled events still sitting in the heap
         self.events_run = 0
+        self.events_cancelled = 0  # total pending events ever cancelled
 
     def schedule(self, delay: float, callback: Callable[[], Any]) -> Event:
         """Schedule ``callback`` to run ``delay`` time units from now."""
         if delay < 0:
-            raise ValueError("cannot schedule in the past")
+            raise ValueError(
+                "negative delay {!r}: cannot schedule in the past "
+                "(now={!r})".format(delay, self.now))
         event = Event(self.now + delay, next(self._counter), callback,
                       _on_cancel=self._note_cancel)
         heapq.heappush(self._heap, event)
         return event
 
     def schedule_at(self, time: float, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self.now:
+            raise ValueError(
+                "absolute time {!r} is before now={!r}: cannot schedule "
+                "in the past".format(time, self.now))
         return self.schedule(time - self.now, callback)
 
     def _note_cancel(self) -> None:
         self._cancelled += 1
+        self.events_cancelled += 1
         # Compact once dead entries dominate: O(live) rebuild, amortised
         # O(1) per cancellation.
         if self._cancelled > len(self._heap) // 2:

@@ -44,19 +44,84 @@ class _Timer:
             cell[1] += elapsed
 
 
-class PerfRegistry:
-    """A named-counter / named-timer registry.
+class Histogram:
+    """A value-distribution recorder (latencies, queue depths, stretch).
 
-    ``counters`` maps name → running total; ``timers`` maps name →
-    ``[calls, total_seconds]``.  Registries are cheap enough to keep one
-    global (:data:`PERF`) plus ad-hoc private ones in tests.
+    Values are kept verbatim — simulation-scale sample counts (thousands
+    to low millions) fit comfortably, and exact percentiles beat bucketed
+    approximations when the workload engine asserts determinism (two runs
+    with one seed must snapshot identically).
     """
 
-    __slots__ = ("counters", "timers")
+    __slots__ = ("_values", "_sorted")
+
+    def __init__(self) -> None:
+        self._values: List[float] = []
+        self._sorted = True
+
+    def record(self, value: float) -> None:
+        values = self._values
+        if self._sorted and values and value < values[-1]:
+            self._sorted = False
+        values.append(value)
+
+    def _ordered(self) -> List[float]:
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+        return self._values
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank quantile; raises ``ValueError`` when empty."""
+        ordered = self._ordered()
+        if not ordered:
+            raise ValueError("empty histogram")
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        index = min(len(ordered) - 1,
+                    max(0, int(round(fraction * (len(ordered) - 1)))))
+        return ordered[index]
+
+    def snapshot(self) -> Dict[str, float]:
+        """JSON-ready summary: count/min/max/mean plus p50/p90/p99."""
+        ordered = self._ordered()
+        if not ordered:
+            return {"count": 0}
+        return {
+            "count": len(ordered),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "mean": sum(ordered) / len(ordered),
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+        }
+
+    def reset(self) -> None:
+        self._values.clear()
+        self._sorted = True
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+class PerfRegistry:
+    """A named-counter / named-timer / named-gauge / histogram registry.
+
+    ``counters`` maps name → running total; ``timers`` maps name →
+    ``[calls, total_seconds]``; ``gauges`` maps name → last-set value;
+    ``histograms`` maps name → :class:`Histogram`.  Registries are cheap
+    enough to keep one global (:data:`PERF`) plus ad-hoc private ones in
+    tests.
+    """
+
+    __slots__ = ("counters", "timers", "gauges", "histograms")
 
     def __init__(self) -> None:
         self.counters: Dict[str, float] = {}
         self.timers: Dict[str, List[float]] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
 
     def counter(self, name: str, n: float = 1) -> None:
         """Add ``n`` to the named counter (creating it at zero)."""
@@ -67,24 +132,49 @@ class PerfRegistry:
         """``with perf.timed("spf.rebuild"): ...`` wall-clock bracket."""
         return _Timer(self, name)
 
+    def gauge(self, name: str, value: float) -> None:
+        """Set the named gauge to its latest observed value."""
+        self.gauges[name] = value
+
+    def histogram(self, name: str) -> Histogram:
+        """The named :class:`Histogram`, created empty on first use."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        return hist
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into the named histogram."""
+        self.histogram(name).record(value)
+
     def value(self, name: str, default: float = 0) -> float:
         return self.counters.get(name, default)
 
     def snapshot(self) -> Dict[str, Dict]:
-        """A JSON-ready dump: counters verbatim, timers as calls/seconds."""
-        return {
+        """A JSON-ready dump: counters verbatim, timers as calls/seconds,
+        gauges verbatim, histograms as summary stats."""
+        out = {
             "counters": dict(self.counters),
             "timers": {name: {"calls": calls, "seconds": round(secs, 6)}
                        for name, (calls, secs) in self.timers.items()},
         }
+        if self.gauges:
+            out["gauges"] = dict(self.gauges)
+        if self.histograms:
+            out["histograms"] = {name: hist.snapshot()
+                                 for name, hist in self.histograms.items()}
+        return out
 
     def reset(self) -> None:
         self.counters.clear()
         self.timers.clear()
+        self.gauges.clear()
+        self.histograms.clear()
 
     def __repr__(self) -> str:
-        return "PerfRegistry(counters={}, timers={})".format(
-            len(self.counters), len(self.timers))
+        return "PerfRegistry(counters={}, timers={}, gauges={}, histograms={})".format(
+            len(self.counters), len(self.timers), len(self.gauges),
+            len(self.histograms))
 
 
 #: The process-global registry the runtime instrumentation reports into.
@@ -94,6 +184,9 @@ PERF = PerfRegistry()
 #: do ``from repro.util import perf; perf.counter(...)``.
 counter = PERF.counter
 timed = PERF.timed
+gauge = PERF.gauge
+histogram = PERF.histogram
+observe = PERF.observe
 snapshot = PERF.snapshot
 reset = PERF.reset
 value = PERF.value

@@ -1,0 +1,381 @@
+"""Binds a :class:`Scenario` to a network on the discrete-event loop.
+
+The driver owns one :class:`repro.sim.engine.EventLoop` and schedules
+three event families against a churning membership:
+
+* **arrivals** — per-phase Poisson (optionally modulated) host joins,
+  each with an optional sampled session lifetime that schedules the
+  departure (graceful leave or crash, per the churn spec);
+* **traffic** — an open-loop packet generator picking a uniform source
+  and a popularity-weighted destination among *currently live* hosts;
+* **faults** — the scheduled injectors of :mod:`repro.workload.faults`.
+
+Every random draw comes from a cached ``derive_rng`` stream keyed on
+``(seed, "workload", *scope)``, so adding a new consumer never perturbs
+existing streams and a scenario replays byte-for-byte from its seed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.engine import EventLoop
+from repro.sim.stats import PathResult
+from repro.util.rng import derive_rng
+from repro.workload.faults import injector_from_spec
+from repro.workload.metrics import MetricsRecorder
+from repro.workload.processes import (PoissonProcess, lifetime_from_spec,
+                                      modulation_from_spec,
+                                      popularity_from_spec)
+from repro.workload.scenario import Phase, Scenario, ScenarioError
+
+
+# ---------------------------------------------------------------------------
+# Network adapters — one uniform surface over intra/inter networks.
+# ---------------------------------------------------------------------------
+
+class _IntraAdapter:
+    """Drives an :class:`repro.intra.network.IntraDomainNetwork`."""
+
+    kind = "intra"
+    supports_departure = True
+
+    def __init__(self, net):
+        self.net = net
+
+    def join_one(self) -> Optional[Tuple[str, int, Optional[float]]]:
+        from repro.intra.ring import JoinError
+        net = self.net
+        host = net.next_planned_host()
+        via = None
+        if not net.lsmap.is_router_up(host.attach_at):
+            via = net.failover_router(host.attach_at, host.name)
+            if via is None:
+                return None  # whole ISP down; nothing to join at
+        try:
+            receipt = net.join_host(host, via_router=via)
+        except JoinError:
+            # A join attempted while the substrate is partitioned can
+            # fail its predecessor lookup; a real host would back off and
+            # retry.  Count it and move on.
+            return None
+        return receipt.host_name, receipt.messages, receipt.latency_ms
+
+    def depart(self, host_name: str, mode: str) -> int:
+        if mode == "fail":
+            return self.net.fail_host(host_name)
+        return self.net.leave_host(host_name)
+
+    def send(self, src: str, dst: str) -> PathResult:
+        return self.net.send(src, dst)
+
+    def state_entries(self) -> int:
+        return sum(self.net.memory_entries_per_router().values())
+
+    def check(self) -> None:
+        self.net.check_ring()
+
+
+class _InterAdapter:
+    """Drives an :class:`repro.inter.network.InterDomainNetwork`."""
+
+    kind = "inter"
+    supports_departure = False
+
+    def __init__(self, net):
+        self.net = net
+
+    def join_one(self) -> Optional[Tuple[str, int, Optional[float]]]:
+        net = self.net
+        host = net.next_planned_host()
+        guard = 0
+        while not net.as_is_up(host.attach_at) and guard < 64:
+            host = net.next_planned_host()
+            guard += 1
+        if not net.as_is_up(host.attach_at):
+            return None
+        receipt = net.join_host(host)
+        return receipt.host_name, receipt.messages, None
+
+    def depart(self, host_name: str, mode: str) -> int:
+        raise ScenarioError("interdomain hosts cannot depart")
+
+    def send(self, src: str, dst: str) -> PathResult:
+        return self.net.send(src, dst)
+
+    def state_entries(self) -> int:
+        return sum(self.net.state_entries_per_as().values())
+
+    def check(self) -> None:
+        self.net.check_rings()
+
+
+def _build_network(scenario: Scenario):
+    spec = scenario.network
+    if spec.kind == "intra":
+        from repro.intra.network import IntraDomainNetwork
+        from repro.topology.isp import synthetic_isp
+        topo = synthetic_isp(n_routers=spec.n_routers, seed=scenario.seed,
+                             name=spec.name)
+        kwargs = {}
+        if spec.cache_entries is not None:
+            kwargs["cache_entries"] = spec.cache_entries
+        return IntraDomainNetwork(topo, seed=scenario.seed, **kwargs)
+    from repro.inter.network import InterDomainNetwork
+    from repro.topology.asgraph import synthetic_as_graph
+    asg = synthetic_as_graph(n_ases=spec.n_ases, seed=scenario.seed)
+    return InterDomainNetwork(asg, n_fingers=spec.n_fingers,
+                              seed=scenario.seed,
+                              cache_entries=spec.cache_entries or 0)
+
+
+# ---------------------------------------------------------------------------
+# Result.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class WorkloadResult:
+    """Everything one run produced.
+
+    ``samples``, ``summary``, ``totals``, and ``fault_log`` are pure
+    functions of (scenario, seed) — the determinism contract.
+    ``wall_seconds`` / ``events_per_sec`` are wall-clock throughput and
+    vary run to run; they feed the benchmark sweep, never assertions.
+    """
+
+    scenario: Dict
+    samples: List[Dict] = field(default_factory=list)
+    summary: Dict = field(default_factory=dict)
+    totals: Dict = field(default_factory=dict)
+    fault_log: List[Dict] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    events_per_sec: float = 0.0
+
+    def deterministic_view(self) -> Dict:
+        """The seed-reproducible portion, JSON-ready (for equality checks
+        and for ``--json`` CLI output)."""
+        return {
+            "scenario": self.scenario,
+            "samples": self.samples,
+            "summary": self.summary,
+            "totals": self.totals,
+            "fault_log": self.fault_log,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Driver.
+# ---------------------------------------------------------------------------
+
+class WorkloadDriver:
+    """One scenario bound to one network on one event loop."""
+
+    def __init__(self, scenario: Scenario, network=None):
+        scenario.validate()
+        self.scenario = scenario
+        self.net = network if network is not None else _build_network(scenario)
+        kind = scenario.network.kind
+        self.adapter = (_IntraAdapter(self.net) if kind == "intra"
+                        else _InterAdapter(self.net))
+        self.loop = EventLoop()
+        self.fault_log: List[Dict] = []
+        self._rngs: Dict[tuple, object] = {}
+        self._live: List[str] = []       # join-ordered live host names
+        self._live_set = set()
+        self._skipped_sends = 0
+        self._failed_joins = 0
+        self.metrics: Optional[MetricsRecorder] = None
+
+    # -- randomness ---------------------------------------------------------
+
+    def rng(self, *scope):
+        """The cached ``derive_rng`` stream for one consumer scope."""
+        stream = self._rngs.get(scope)
+        if stream is None:
+            stream = self._rngs[scope] = derive_rng(
+                self.scenario.seed, "workload", *scope)
+        return stream
+
+    # -- membership ---------------------------------------------------------
+
+    def live_hosts(self) -> List[str]:
+        """Join-ordered live hosts, pruned of crash/fault casualties."""
+        hosts = self.net.hosts
+        if len(self._live_set) != len(self._live) or any(
+                name not in hosts for name in self._live):
+            self._live = [name for name in self._live if name in hosts]
+            self._live_set = set(self._live)
+        return self._live
+
+    def note_join(self, host_name: str) -> None:
+        if host_name not in self._live_set:
+            self._live.append(host_name)
+            self._live_set.add(host_name)
+
+    def note_departure(self, host_name: str) -> None:
+        if host_name in self._live_set:
+            self._live_set.discard(host_name)
+            self._live.remove(host_name)
+        if self.metrics is not None:
+            self.metrics.record_departure()
+
+    # -- event handlers -----------------------------------------------------
+
+    def _arrival(self, phase: Phase, index: int, process: PoissonProcess,
+                 lifetime) -> None:
+        if self.loop.now >= phase.end:
+            return
+        joined = self.adapter.join_one()
+        if joined is not None:
+            name, messages, latency = joined
+            self.note_join(name)
+            self.metrics.record_join(messages, latency)
+            if lifetime is not None and self.adapter.supports_departure:
+                dt = lifetime.sample(self.rng("lifetime", index))
+                mode = phase.churn.departure
+                self.loop.schedule(dt, lambda: self._departure(name, mode))
+        else:
+            self._failed_joins += 1
+        delay = process.next_arrival(self.rng("arrivals", index),
+                                     self.loop.now)
+        if self.loop.now + delay < phase.end:
+            self.loop.schedule(delay,
+                               lambda: self._arrival(phase, index, process,
+                                                     lifetime))
+
+    def _departure(self, host_name: str, mode: str) -> None:
+        if host_name not in self.net.hosts:
+            return  # already crashed or de-peered away
+        messages = self.adapter.depart(host_name, mode)
+        if host_name in self._live_set:
+            self._live_set.discard(host_name)
+            self._live.remove(host_name)
+        self.metrics.record_departure(messages)
+
+    def _packet(self, phase: Phase, index: int, process: PoissonProcess,
+                popularity) -> None:
+        if self.loop.now < phase.end:
+            live = self.live_hosts()
+            if len(live) >= 2:
+                rng = self.rng("traffic", index)
+                src = rng.choice(live)
+                dst = popularity.pick(rng, live)
+                for _ in range(8):
+                    if dst != src:
+                        break
+                    dst = popularity.pick(rng, live)
+                if dst != src:
+                    self.metrics.record_packet(self.adapter.send(src, dst))
+                else:
+                    self._skipped_sends += 1
+            else:
+                self._skipped_sends += 1
+            delay = process.next_arrival(self.rng("traffic-times", index),
+                                         self.loop.now)
+            if self.loop.now + delay < phase.end:
+                self.loop.schedule(delay,
+                                   lambda: self._packet(phase, index, process,
+                                                        popularity))
+
+    def _sample(self) -> None:
+        self.metrics.sample(self.loop.now, len(self.live_hosts()),
+                            pending_events=self.loop.pending)
+        nxt = self.loop.now + self.scenario.sample_interval
+        if nxt <= self.scenario.duration:
+            self.loop.schedule_at(nxt, self._sample)
+
+    # -- setup & run --------------------------------------------------------
+
+    def _schedule_phase(self, phase: Phase, index: int) -> None:
+        # Bind loop-local objects as lambda defaults: the two branches
+        # reuse names, and a late-binding closure would hand the arrival
+        # chain the traffic process.
+        if phase.churn is not None and phase.churn.arrival_rate > 0:
+            arrivals = PoissonProcess(
+                phase.churn.arrival_rate,
+                modulation_from_spec(phase.churn.modulation))
+            lifetime = lifetime_from_spec(phase.churn.lifetime)
+            first = phase.start + arrivals.next_arrival(
+                self.rng("arrivals", index), phase.start)
+            if first < phase.end:
+                self.loop.schedule_at(
+                    first,
+                    lambda p=arrivals, l=lifetime: self._arrival(
+                        phase, index, p, l))
+        if phase.traffic is not None and phase.traffic.rate > 0:
+            packets = PoissonProcess(
+                phase.traffic.rate,
+                modulation_from_spec(phase.traffic.modulation))
+            popularity = popularity_from_spec(phase.traffic.popularity)
+            first = phase.start + packets.next_arrival(
+                self.rng("traffic-times", index), phase.start)
+            if first < phase.end:
+                self.loop.schedule_at(
+                    first,
+                    lambda p=packets, pop=popularity: self._packet(
+                        phase, index, p, pop))
+
+    def _warmup(self) -> int:
+        joined = 0
+        for _ in range(self.scenario.warmup_hosts):
+            result = self.adapter.join_one()
+            if result is not None:
+                self.note_join(result[0])
+                joined += 1
+        return joined
+
+    def run(self) -> WorkloadResult:
+        scenario = self.scenario
+        started = time.perf_counter()
+
+        warmed = self._warmup()
+        # The recorder baselines its control-overhead window *after*
+        # warmup so sample 1 reports churn-era overhead, not setup cost.
+        self.metrics = MetricsRecorder(
+            self.net.stats, self.adapter.state_entries)
+
+        for index, phase in enumerate(scenario.phases):
+            self._schedule_phase(phase, index)
+        for spec in scenario.faults:
+            injector = injector_from_spec(spec)
+            self.loop.schedule_at(spec.at,
+                                  lambda inj=injector: inj.fire(self))
+        first_sample = min(scenario.sample_interval, scenario.duration)
+        self.loop.schedule_at(first_sample, self._sample)
+
+        self.loop.run(until=scenario.duration)
+        if not self.metrics.samples or \
+                self.metrics.samples[-1]["t"] < scenario.duration:
+            self.metrics.sample(scenario.duration, len(self.live_hosts()),
+                                pending_events=self.loop.pending)
+
+        wall = time.perf_counter() - started
+        totals = {
+            "warmup_hosts": warmed,
+            "joins": self.metrics.total_joins,
+            "departures": self.metrics.total_departures,
+            "packets_sent": self.metrics.total_sent,
+            "packets_delivered": self.metrics.total_delivered,
+            "packets_skipped": self._skipped_sends,
+            "failed_joins": self._failed_joins,
+            "faults_fired": len(self.fault_log),
+            "events_run": self.loop.events_run,
+            "final_live_hosts": len(self.live_hosts()),
+        }
+        return WorkloadResult(
+            scenario=scenario.to_dict(),
+            samples=list(self.metrics.samples),
+            summary=self.metrics.summary(),
+            totals=totals,
+            fault_log=list(self.fault_log),
+            wall_seconds=round(wall, 4),
+            events_per_sec=round(self.loop.events_run / wall, 1) if wall > 0
+            else 0.0,
+        )
+
+
+def run_scenario(scenario: Scenario, network=None) -> WorkloadResult:
+    """Convenience one-shot: build a driver, run it, return the result."""
+    return WorkloadDriver(scenario, network=network).run()

@@ -1,0 +1,210 @@
+"""Scheduled fault injectors.
+
+Each injector is built from a :class:`repro.workload.scenario.FaultSpec`
+and, when its virtual time arrives, drives the *existing* recovery
+machinery — :mod:`repro.intra.failure`, :mod:`repro.intra.partition`,
+:meth:`repro.inter.network.InterDomainNetwork.fail_as` — through the
+driver.  Victim selection is deterministic: each injector draws from its
+own ``derive_rng`` scope keyed on ``(seed, "faults", kind, at)``.
+
+Every injection appends a JSON-ready record to the driver's fault log
+(kind, time, victims, repair cost), which is how the Figure 7 experiment
+rewrites read their measurements back out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, TYPE_CHECKING
+
+from repro.workload.scenario import FaultSpec, ScenarioError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workload.driver import WorkloadDriver
+
+
+class FaultInjector:
+    """One scheduled injection; subclasses implement :meth:`inject`."""
+
+    kind = "abstract"
+
+    def __init__(self, spec: FaultSpec):
+        self.spec = spec
+        self.at = spec.at
+        self.params = spec.params
+
+    def rng(self, driver: "WorkloadDriver"):
+        return driver.rng("faults", self.kind, self.at)
+
+    def inject(self, driver: "WorkloadDriver") -> Dict:  # pragma: no cover
+        raise NotImplementedError
+
+    def fire(self, driver: "WorkloadDriver") -> None:
+        record = self.inject(driver)
+        record.setdefault("kind", self.kind)
+        record.setdefault("at", driver.loop.now)
+        driver.fault_log.append(record)
+
+
+class LinkCut(FaultInjector):
+    """Cut ``count`` live links (or the explicit ``links`` list); with
+    ``restore_after`` the same links come back later."""
+
+    kind = "link_cut"
+
+    def _pick_links(self, driver: "WorkloadDriver") -> List[tuple]:
+        explicit = self.params.get("links")
+        if explicit:
+            return [tuple(link) for link in explicit]
+        net = driver.net
+        live = sorted((a, b) for a, b in net.topology.links()
+                      if net.lsmap.is_link_up(a, b))
+        count = min(int(self.params.get("count", 1)), len(live))
+        return self.rng(driver).sample(live, count) if count else []
+
+    def inject(self, driver: "WorkloadDriver") -> Dict:
+        net = driver.net
+        victims = self._pick_links(driver)
+        dropped = sum(net.fail_link(a, b) for a, b in victims)
+        restore_after = self.params.get("restore_after")
+        if restore_after is not None:
+            def restore():
+                for a, b in victims:
+                    net.restore_link(a, b)
+                driver.fault_log.append({
+                    "kind": "link_restore", "at": driver.loop.now,
+                    "links": [list(v) for v in victims]})
+            driver.loop.schedule(float(restore_after), restore)
+        return {"links": [list(v) for v in victims],
+                "cache_entries_dropped": dropped}
+
+
+class LinkRestore(FaultInjector):
+    """Restore explicitly named links."""
+
+    kind = "link_restore"
+
+    def inject(self, driver: "WorkloadDriver") -> Dict:
+        links = [tuple(link) for link in self.params.get("links", [])]
+        for a, b in links:
+            driver.net.restore_link(a, b)
+        return {"links": [list(v) for v in links]}
+
+
+class RouterCrash(FaultInjector):
+    """Crash ``count`` live routers (or the explicit ``routers`` list);
+    resident hosts re-home and rejoin via the failover protocol."""
+
+    kind = "router_crash"
+
+    def inject(self, driver: "WorkloadDriver") -> Dict:
+        net = driver.net
+        explicit = self.params.get("routers")
+        if explicit:
+            victims = list(explicit)
+        else:
+            live = sorted(net.lsmap.live_routers())
+            count = min(int(self.params.get("count", 1)), max(0, len(live) - 1))
+            victims = self.rng(driver).sample(live, count) if count else []
+        messages = 0
+        for router in victims:
+            if net.lsmap.is_router_up(router):
+                messages += net.fail_router(router)
+        return {"routers": victims, "repair_messages": messages}
+
+
+class PopPartition(FaultInjector):
+    """Run the full Fig 7 disconnect/heal/reconnect/merge cycle for one
+    PoP (``pop`` explicit, otherwise a seeded random choice)."""
+
+    kind = "pop_partition"
+
+    def inject(self, driver: "WorkloadDriver") -> Dict:
+        net = driver.net
+        pop = self.params.get("pop")
+        if pop is None:
+            pop = self.rng(driver).choice(sorted(net.topology.pops))
+        report = net.partition_pop(pop)
+        return {"pop": str(report.pop),
+                "ids_in_pop": report.ids_in_pop,
+                "cut_links": len(report.cut_links),
+                "disconnect_messages": report.disconnect_messages,
+                "reconnect_messages": report.reconnect_messages,
+                "repair_messages": report.total_messages}
+
+
+class HostCrash(FaultInjector):
+    """Crash ``count`` live hosts (session-timeout teardown, not a
+    graceful leave)."""
+
+    kind = "host_crash"
+
+    def inject(self, driver: "WorkloadDriver") -> Dict:
+        net = driver.net
+        live = sorted(net.hosts)
+        count = min(int(self.params.get("count", 1)), len(live))
+        victims = self.rng(driver).sample(live, count) if count else []
+        messages = 0
+        for host in victims:
+            if host in net.hosts:
+                messages += net.fail_host(host)
+                driver.note_departure(host)
+        return {"hosts": victims, "repair_messages": messages}
+
+
+class ASDepeer(FaultInjector):
+    """De-peer (fail) one AS — a host-bearing stub by default — and
+    optionally restore it ``restore_after`` later."""
+
+    kind = "as_depeer"
+
+    def inject(self, driver: "WorkloadDriver") -> Dict:
+        net = driver.net
+        asn = self.params.get("asn")
+        if asn is None:
+            stub_only = bool(self.params.get("stub_only", True))
+            pool = net.asg.stubs() if stub_only else net.asg.ases()
+            candidates = sorted((a for a in pool
+                                 if net.as_is_up(a) and net.ases[a].hosted),
+                                key=str)
+            if not candidates:
+                return {"asn": None, "repair_messages": 0}
+            asn = self.rng(driver).choice(candidates)
+        ids = len(net.ases[asn].hosted)
+        for vn in net.ases[asn].hosted.values():
+            if vn.host_name is not None:
+                driver.note_departure(vn.host_name)
+        messages = net.fail_as(asn)
+        restore_after = self.params.get("restore_after")
+        if restore_after is not None:
+            def restore():
+                net.restore_as(asn)
+                driver.fault_log.append({"kind": "as_restore",
+                                         "at": driver.loop.now,
+                                         "asn": str(asn)})
+            driver.loop.schedule(float(restore_after), restore)
+        return {"asn": str(asn), "ids": ids, "repair_messages": messages}
+
+
+class ASRestore(FaultInjector):
+    """Restore an explicitly named AS."""
+
+    kind = "as_restore"
+
+    def inject(self, driver: "WorkloadDriver") -> Dict:
+        asn = self.params.get("asn")
+        if asn is None:
+            raise ScenarioError("as_restore fault needs an 'asn'")
+        driver.net.restore_as(asn)
+        return {"asn": str(asn)}
+
+
+_INJECTORS = {cls.kind: cls for cls in (LinkCut, LinkRestore, RouterCrash,
+                                        PopPartition, HostCrash, ASDepeer,
+                                        ASRestore)}
+
+
+def injector_from_spec(spec: FaultSpec) -> FaultInjector:
+    cls = _INJECTORS.get(spec.kind)
+    if cls is None:
+        raise ScenarioError("unknown fault kind {!r}".format(spec.kind))
+    return cls(spec)

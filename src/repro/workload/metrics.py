@@ -1,0 +1,153 @@
+"""Periodic time-series sampling for workload runs.
+
+The recorder owns a *private* :class:`repro.util.perf.PerfRegistry` (so
+runs never pollute the process-global registry the harness snapshots)
+and uses its histogram/gauge primitives for the distributions the
+serving-stack framing cares about: packet stretch, join latency, and
+repair cost.  Every ``sample_interval`` of virtual time it appends one
+JSON-ready row with windowed delivery rate, stretch, control-message
+overhead, routing-state size, and churn counts.
+
+All sampled quantities are functions of simulation state only — no wall
+clock — so the time series is byte-for-byte reproducible from one seed
+(the determinism contract the test-suite asserts).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.stats import PathResult, StatsCollector, percentile
+from repro.util.perf import PerfRegistry
+
+
+class MetricsRecorder:
+    """Accumulates per-window counts and emits periodic samples."""
+
+    def __init__(self, stats: StatsCollector,
+                 state_entries_fn: Callable[[], int],
+                 registry: Optional[PerfRegistry] = None):
+        self.stats = stats
+        self.state_entries_fn = state_entries_fn
+        self.perf = registry or PerfRegistry()
+        self.samples: List[Dict] = []
+
+        # Run totals.
+        self.total_sent = 0
+        self.total_delivered = 0
+        self.total_joins = 0
+        self.total_departures = 0
+        self.total_join_messages = 0
+
+        # Current-window accumulators (reset at each sample).
+        self._win_sent = 0
+        self._win_delivered = 0
+        self._win_stretches: List[float] = []
+        self._win_joins = 0
+        self._win_departures = 0
+        self._last_total_messages = 0
+        self._last_data_messages = 0
+
+    # -- event hooks --------------------------------------------------------
+
+    def record_packet(self, result: PathResult) -> None:
+        self.total_sent += 1
+        self._win_sent += 1
+        if result.delivered:
+            self.total_delivered += 1
+            self._win_delivered += 1
+            if result.optimal_hops > 0:
+                stretch = result.stretch
+                self._win_stretches.append(stretch)
+                self.perf.observe("packet.stretch", stretch)
+
+    def record_join(self, messages: int,
+                    latency_ms: Optional[float] = None) -> None:
+        self.total_joins += 1
+        self._win_joins += 1
+        self.total_join_messages += messages
+        self.perf.observe("join.messages", messages)
+        if latency_ms is not None:
+            self.perf.observe("join.latency_ms", latency_ms)
+
+    def record_departure(self, messages: int = 0) -> None:
+        self.total_departures += 1
+        self._win_departures += 1
+        if messages:
+            self.perf.observe("departure.messages", messages)
+
+    # -- sampling -----------------------------------------------------------
+
+    def sample(self, now: float, live_hosts: int,
+               pending_events: int = 0) -> Dict:
+        """Close the current window and append one time-series row."""
+        total_messages = self.stats.total_messages()
+        data_messages = self.stats.messages.get("data", 0)
+        control_delta = ((total_messages - data_messages)
+                         - (self._last_total_messages
+                            - self._last_data_messages))
+        state_entries = self.state_entries_fn()
+
+        row = {
+            "t": round(now, 6),
+            "live_hosts": live_hosts,
+            "sent": self._win_sent,
+            "delivered": self._win_delivered,
+            "delivery_rate": (self._win_delivered / self._win_sent
+                              if self._win_sent else None),
+            "mean_stretch": (sum(self._win_stretches)
+                             / len(self._win_stretches)
+                             if self._win_stretches else None),
+            "p95_stretch": (percentile(self._win_stretches, 0.95)
+                            if self._win_stretches else None),
+            "control_messages": control_delta,
+            "state_entries": state_entries,
+            "joins": self._win_joins,
+            "departures": self._win_departures,
+            "queue_depth": pending_events,
+        }
+        self.samples.append(row)
+
+        self.perf.gauge("live_hosts", live_hosts)
+        self.perf.gauge("state_entries", state_entries)
+        self.perf.observe("sample.queue_depth", pending_events)
+
+        self._last_total_messages = total_messages
+        self._last_data_messages = data_messages
+        self._win_sent = 0
+        self._win_delivered = 0
+        self._win_stretches = []
+        self._win_joins = 0
+        self._win_departures = 0
+        return row
+
+    # -- summaries ----------------------------------------------------------
+
+    def summary(self) -> Dict:
+        """Whole-run roll-up with percentile summaries."""
+        rates = [s["delivery_rate"] for s in self.samples
+                 if s["delivery_rate"] is not None]
+        stretch_hist = self.perf.histograms.get("packet.stretch")
+        join_hist = self.perf.histograms.get("join.messages")
+        out: Dict = {
+            "delivery_rate": (self.total_delivered / self.total_sent
+                              if self.total_sent else None),
+            "min_window_delivery_rate": min(rates) if rates else None,
+            "total_sent": self.total_sent,
+            "total_delivered": self.total_delivered,
+            "total_joins": self.total_joins,
+            "total_departures": self.total_departures,
+            "control_messages": (self.stats.total_messages()
+                                 - self.stats.messages.get("data", 0)),
+            "final_state_entries": (self.samples[-1]["state_entries"]
+                                    if self.samples else None),
+        }
+        if stretch_hist is not None and len(stretch_hist):
+            snap = stretch_hist.snapshot()
+            out["stretch"] = {"mean": snap["mean"], "p50": snap["p50"],
+                              "p95": stretch_hist.percentile(0.95),
+                              "p99": snap["p99"]}
+        if join_hist is not None and len(join_hist):
+            out["join_messages"] = {"mean": join_hist.snapshot()["mean"],
+                                    "p95": join_hist.percentile(0.95)}
+        return out

@@ -1,5 +1,7 @@
 """The ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -32,3 +34,91 @@ def test_quickstart(capsys):
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_unknown_subcommand_exits_nonzero(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["frobnicate"])
+    assert exc.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_help_lists_every_subcommand(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--help"])
+    assert exc.value.code == 0
+    out = capsys.readouterr().out
+    for command in ("figures", "workload", "quickstart", "info"):
+        assert command in out
+
+
+def test_workload_list(capsys):
+    assert main(["workload", "--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("steady-churn", "flash-crowd", "depeering"):
+        assert name in out
+
+
+def test_workload_requires_scenario(capsys):
+    assert main(["workload"]) == 2
+    assert "need a scenario" in capsys.readouterr().err
+
+
+def test_workload_unknown_scenario(capsys):
+    assert main(["workload", "no-such-thing"]) == 2
+    err = capsys.readouterr().err
+    assert "no such builtin or file" in err
+
+
+def test_workload_malformed_scenario_json(tmp_path, capsys):
+    path = tmp_path / "broken.json"
+    path.write_text("{this is not json")
+    assert main(["workload", str(path)]) == 2
+    assert "invalid scenario JSON" in capsys.readouterr().err
+
+
+def test_workload_invalid_scenario_contents(tmp_path, capsys):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"name": "bad", "duration": 5.0,
+                                "faults": [{"kind": "meteor", "at": 1.0}]}))
+    assert main(["workload", str(path)]) == 2
+    assert "unknown fault kind" in capsys.readouterr().err
+
+
+def test_workload_builtin_runs_and_reports(capsys):
+    assert main(["workload", "steady-churn"]) == 0
+    out = capsys.readouterr().out
+    assert "scenario 'steady-churn'" in out
+    assert "delivery" in out
+    assert "fault @" in out
+
+
+def test_workload_json_output(tmp_path, capsys):
+    scenario_path = tmp_path / "tiny.json"
+    scenario_path.write_text(json.dumps({
+        "name": "tiny", "duration": 10.0, "warmup_hosts": 20,
+        "sample_interval": 5.0,
+        "network": {"kind": "intra", "n_routers": 12},
+        "phases": [{"name": "p", "start": 0.0, "end": 10.0,
+                    "churn": {"arrival_rate": 1.0},
+                    "traffic": {"rate": 3.0}}],
+    }))
+    out_path = tmp_path / "result.json"
+    assert main(["workload", str(scenario_path),
+                 "--json", str(out_path)]) == 0
+    data = json.loads(out_path.read_text())
+    assert set(data) == {"scenario", "samples", "summary", "totals",
+                         "fault_log"}
+    assert data["scenario"]["name"] == "tiny"
+    assert data["totals"]["warmup_hosts"] == 20
+
+
+def test_workload_seed_override_changes_result(tmp_path, capsys):
+    args = ["workload", "steady-churn", "--json", "-"]
+    assert main(args) == 0
+    base = json.loads(capsys.readouterr().out)
+    assert main(args + ["--seed", "9"]) == 0
+    reseeded = json.loads(capsys.readouterr().out)
+    assert base["scenario"]["seed"] == 0
+    assert reseeded["scenario"]["seed"] == 9
+    assert base["samples"] != reseeded["samples"]

@@ -62,6 +62,85 @@ def test_module_aliases_hit_global_registry():
     assert PERF.counters == {}
 
 
+def test_gauge_keeps_last_value():
+    reg = PerfRegistry()
+    reg.gauge("depth", 3)
+    reg.gauge("depth", 7)
+    assert reg.gauges["depth"] == 7
+    snap = reg.snapshot()
+    assert snap["gauges"] == {"depth": 7}
+
+
+def test_histogram_percentiles_and_snapshot():
+    reg = PerfRegistry()
+    for v in [5, 1, 3, 2, 4]:
+        reg.observe("lat", v)
+    hist = reg.histogram("lat")
+    assert len(hist) == 5
+    assert hist.percentile(0.0) == 1
+    assert hist.percentile(0.5) == 3
+    assert hist.percentile(1.0) == 5
+    snap = hist.snapshot()
+    assert snap["count"] == 5
+    assert snap["min"] == 1 and snap["max"] == 5
+    assert snap["mean"] == 3
+    assert snap["p50"] == 3
+    # Recording after a snapshot must not mutate the taken snapshot.
+    reg.observe("lat", 100)
+    assert snap["max"] == 5
+    assert reg.histogram("lat").percentile(1.0) == 100
+
+
+def test_empty_histogram_snapshot():
+    reg = PerfRegistry()
+    hist = reg.histogram("nothing")
+    assert hist.snapshot() == {"count": 0}
+    assert len(hist) == 0
+
+
+def test_registry_snapshot_omits_empty_sections():
+    reg = PerfRegistry()
+    reg.counter("a")
+    snap = reg.snapshot()
+    assert "gauges" not in snap and "histograms" not in snap
+    reg.observe("h", 1.5)
+    reg.gauge("g", 2)
+    snap = reg.snapshot()
+    assert snap["histograms"]["h"]["count"] == 1
+    assert snap["gauges"]["g"] == 2
+
+
+def test_reset_clears_gauges_and_histograms():
+    reg = PerfRegistry()
+    reg.gauge("g", 1)
+    reg.observe("h", 1)
+    reg.reset()
+    assert reg.gauges == {}
+    assert reg.histograms == {}
+
+
+def test_histogram_reset_only_clears_values():
+    reg = PerfRegistry()
+    reg.observe("h", 9)
+    hist = reg.histogram("h")
+    hist.reset()
+    assert len(hist) == 0
+    assert hist.snapshot() == {"count": 0}
+    # Still registered under the same name.
+    assert reg.histogram("h") is hist
+
+
+def test_module_aliases_for_gauge_histogram():
+    PERF.reset()
+    try:
+        perf.gauge("alias.g", 4)
+        perf.observe("alias.h", 2.0)
+        assert PERF.gauges["alias.g"] == 4
+        assert perf.histogram("alias.h").percentile(0.5) == 2.0
+    finally:
+        perf.reset()
+
+
 def test_experiment_drivers_attach_perf(tmp_path):
     from repro.harness import experiments
 

@@ -130,6 +130,59 @@ def test_cancel_after_run_is_harmless():
     assert loop.run() == 1
 
 
+def test_negative_delay_message_names_now():
+    loop = EventLoop()
+    loop.schedule(2.0, lambda: None)
+    loop.run()
+    with pytest.raises(ValueError, match="negative delay"):
+        loop.schedule(-0.5, lambda: None)
+
+
+def test_schedule_at_past_raises():
+    loop = EventLoop()
+    loop.schedule(5.0, lambda: None)
+    loop.run()
+    assert loop.now == 5.0
+    with pytest.raises(ValueError, match="before now"):
+        loop.schedule_at(4.9, lambda: None)
+    # Scheduling exactly at `now` is allowed (fires immediately on run).
+    fired = []
+    loop.schedule_at(5.0, lambda: fired.append(loop.now))
+    loop.run()
+    assert fired == [5.0]
+
+
+def test_run_until_and_max_events_interact():
+    loop = EventLoop()
+    fired = []
+    for i in range(10):
+        loop.schedule(float(i), lambda i=i: fired.append(i))
+    # max_events binds first: only 2 of the 5 events before t=4.5 run.
+    assert loop.run(until=4.5, max_events=2) == 2
+    assert fired == [0, 1]
+    assert loop.now == 1.0  # stopped by the event bound, not the clock
+    # until binds next: events at t=2,3,4 run, clock parks at the boundary.
+    assert loop.run(until=4.5, max_events=100) == 3
+    assert fired == [0, 1, 2, 3, 4]
+    assert loop.now == 4.5
+    assert loop.pending == 5
+
+
+def test_cancelled_event_accounting():
+    loop = EventLoop()
+    events = [loop.schedule(float(i), lambda: None) for i in range(6)]
+    events[0].cancel()
+    events[1].cancel()
+    events[1].cancel()  # double-cancel counts once
+    assert loop.events_cancelled == 2
+    loop.run()
+    assert loop.events_run == 4
+    # Cancelling an already-run event is a no-op for the tally.
+    events[5].cancel()
+    assert loop.events_cancelled == 2
+    assert loop.pending == 0
+
+
 def test_heap_compacts_when_cancelled_dominate():
     loop = EventLoop()
     keep = loop.schedule(100.0, lambda: None)

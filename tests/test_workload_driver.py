@@ -1,0 +1,148 @@
+"""End-to-end tests for the workload driver and metrics recorder."""
+
+import pytest
+
+from repro.workload.driver import WorkloadDriver, run_scenario
+from repro.workload.scenario import (ChurnSpec, FaultSpec, NetworkSpec, Phase,
+                                     Scenario, ScenarioError, TrafficSpec,
+                                     builtin_scenario)
+
+
+def _small_scenario(seed=0, **overrides) -> Scenario:
+    """A fast (~0.1s) intradomain churn scenario used across these tests."""
+    kwargs = dict(
+        name="test-small",
+        seed=seed,
+        duration=20.0,
+        warmup_hosts=30,
+        sample_interval=5.0,
+        network=NetworkSpec(kind="intra", n_routers=16, name="test-small"),
+        phases=[Phase(
+            name="churn", start=0.0, end=20.0,
+            churn=ChurnSpec(arrival_rate=1.5,
+                            lifetime={"kind": "pareto", "shape": 1.5,
+                                      "scale": 6.0}),
+            traffic=TrafficSpec(rate=4.0,
+                                popularity={"kind": "zipf",
+                                            "exponent": 0.9}))],
+        faults=[FaultSpec(kind="link_cut", at=10.0,
+                          params={"count": 2, "restore_after": 5.0})],
+    )
+    kwargs.update(overrides)
+    return Scenario(**kwargs)
+
+
+def test_same_seed_reproduces_deterministic_view():
+    a = run_scenario(_small_scenario(seed=3))
+    b = run_scenario(_small_scenario(seed=3))
+    assert a.deterministic_view() == b.deterministic_view()
+
+
+def test_different_seed_diverges():
+    a = run_scenario(_small_scenario(seed=1))
+    b = run_scenario(_small_scenario(seed=2))
+    assert a.deterministic_view() != b.deterministic_view()
+
+
+def test_deterministic_view_excludes_wall_clock():
+    view = run_scenario(_small_scenario()).deterministic_view()
+    assert set(view) == {"scenario", "samples", "summary", "totals",
+                         "fault_log"}
+
+
+def test_time_series_shape_and_totals():
+    scenario = _small_scenario()
+    result = run_scenario(scenario)
+    # One row per sample interval (20 / 5), each carrying the full schema.
+    assert [row["t"] for row in result.samples] == [5.0, 10.0, 15.0, 20.0]
+    for row in result.samples:
+        assert {"live_hosts", "sent", "delivered", "delivery_rate",
+                "mean_stretch", "control_messages", "state_entries",
+                "joins", "departures", "queue_depth"} <= set(row)
+    totals = result.totals
+    assert totals["warmup_hosts"] == 30
+    assert totals["joins"] > 0
+    assert totals["packets_sent"] > 0
+    assert sum(r["joins"] for r in result.samples) == totals["joins"]
+    assert sum(r["sent"] for r in result.samples) == totals["packets_sent"]
+    assert totals["final_live_hosts"] == result.samples[-1]["live_hosts"]
+    assert result.summary["delivery_rate"] is not None
+    assert 0.0 <= result.summary["delivery_rate"] <= 1.0
+
+
+def test_fault_log_records_cut_and_restore():
+    result = run_scenario(_small_scenario())
+    kinds = [record["kind"] for record in result.fault_log]
+    assert kinds.count("link_cut") == 1
+    assert kinds.count("link_restore") == 1
+    cut = next(r for r in result.fault_log if r["kind"] == "link_cut")
+    restore = next(r for r in result.fault_log if r["kind"] == "link_restore")
+    assert cut["at"] == 10.0 and restore["at"] == 15.0
+    assert sorted(map(tuple, cut["links"])) == \
+        sorted(map(tuple, restore["links"]))
+    assert result.totals["faults_fired"] == 2
+
+
+def test_departures_shrink_membership():
+    scenario = _small_scenario(
+        duration=15.0, sample_interval=15.0,
+        phases=[Phase(name="blip", start=0.0, end=15.0,
+                      churn=ChurnSpec(arrival_rate=2.0,
+                                      lifetime={"kind": "fixed",
+                                                "value": 1.0}))],
+        faults=[])
+    result = run_scenario(scenario)
+    assert result.totals["departures"] > 0
+    # Fixed 1-unit lifetimes: nearly everyone who joined has departed.
+    assert result.totals["final_live_hosts"] <= \
+        result.totals["warmup_hosts"] + 3
+
+
+def test_crash_departure_mode():
+    scenario = _small_scenario(
+        duration=10.0, sample_interval=10.0,
+        phases=[Phase(name="crashy", start=0.0, end=10.0,
+                      churn=ChurnSpec(arrival_rate=2.0,
+                                      lifetime={"kind": "fixed",
+                                                "value": 2.0},
+                                      departure="fail"))],
+        faults=[])
+    result = run_scenario(scenario)
+    assert result.totals["departures"] > 0
+
+
+def test_interdomain_scenario_runs():
+    scenario = builtin_scenario("depeering", seed=0)
+    scenario.duration = 20.0
+    scenario.warmup_hosts = 40
+    scenario.faults = [FaultSpec(kind="as_depeer", at=10.0,
+                                 params={"stub_only": True})]
+    result = run_scenario(scenario)
+    assert result.totals["joins"] > 0
+    depeer = next(r for r in result.fault_log if r["kind"] == "as_depeer")
+    assert depeer["asn"] is not None
+    assert result.summary["delivery_rate"] is not None
+
+
+def test_interdomain_departure_rejected_at_validation():
+    scenario = builtin_scenario("depeering")
+    scenario.phases[0].churn.lifetime = {"kind": "fixed", "value": 1.0}
+    with pytest.raises(ScenarioError):
+        WorkloadDriver(scenario)
+
+
+def test_rng_streams_are_cached_and_scoped():
+    driver = WorkloadDriver(_small_scenario())
+    assert driver.rng("a") is driver.rng("a")
+    assert driver.rng("a") is not driver.rng("b")
+
+
+def test_builtin_steady_churn_acceptance():
+    """The ISSUE acceptance scenario: builtin churn runs end-to-end and
+    two same-seed runs agree byte-for-byte."""
+    a = run_scenario(builtin_scenario("steady-churn", seed=0))
+    b = run_scenario(builtin_scenario("steady-churn", seed=0))
+    assert a.deterministic_view() == b.deterministic_view()
+    assert a.totals["joins"] > 50
+    assert a.summary["delivery_rate"] > 0.9
+    assert any(r["kind"] == "link_cut" for r in a.fault_log)

@@ -1,0 +1,120 @@
+"""Tests for the workload stochastic processes."""
+
+import pytest
+
+from repro.util.rng import derive_rng
+from repro.workload.processes import (DiurnalModulation, FixedLifetime,
+                                      FlashCrowd, FlatModulation,
+                                      PoissonProcess, SpecError,
+                                      UniformPopularity, ZipfPopularity,
+                                      lifetime_from_spec, modulation_from_spec,
+                                      popularity_from_spec)
+
+
+def test_poisson_mean_interarrival_matches_rate():
+    rng = derive_rng(0, "poisson")
+    proc = PoissonProcess(rate=4.0)
+    gaps = [proc.next_arrival(rng, 0.0) for _ in range(4000)]
+    mean = sum(gaps) / len(gaps)
+    assert 0.22 < mean < 0.28  # 1/rate = 0.25
+
+
+def test_poisson_thinning_follows_flash_crowd():
+    mod = FlashCrowd(start=10.0, end=20.0, peak=5.0)
+    proc = PoissonProcess(rate=2.0, modulation=mod)
+    rng = derive_rng(1, "thinning")
+    t, inside, outside = 0.0, 0, 0
+    while t < 30.0:
+        t += proc.next_arrival(rng, t)
+        if t < 30.0:
+            if 10.0 <= t < 20.0:
+                inside += 1
+            else:
+                outside += 1
+    # 10 units at 5x the rate vs 20 units at 1x: expect ~100 vs ~40.
+    assert inside > 1.5 * outside
+
+
+def test_poisson_rejects_nonpositive_rate():
+    with pytest.raises(SpecError):
+        PoissonProcess(rate=0.0)
+
+
+def test_flash_crowd_ramp_and_window():
+    mod = FlashCrowd(start=10.0, end=20.0, peak=3.0, ramp=2.0)
+    assert mod.factor(5.0) == 1.0
+    assert mod.factor(9.0) == pytest.approx(2.0)   # halfway up the ramp
+    assert mod.factor(15.0) == 3.0
+    assert mod.factor(21.0) == pytest.approx(2.0)  # halfway down
+    assert mod.factor(25.0) == 1.0
+    assert mod.peak_factor() == 3.0
+
+
+def test_diurnal_factor_stays_in_band():
+    mod = DiurnalModulation(period=24.0, low=0.4, high=1.6)
+    values = [mod.factor(t / 4.0) for t in range(0, 24 * 4)]
+    assert all(0.4 - 1e-9 <= v <= 1.6 + 1e-9 for v in values)
+    assert max(values) > 1.5 and min(values) < 0.5
+    assert mod.peak_factor() == 1.6
+
+
+def test_modulation_from_spec_kinds():
+    assert isinstance(modulation_from_spec(None), FlatModulation)
+    assert isinstance(modulation_from_spec({"kind": "flat"}), FlatModulation)
+    mod = modulation_from_spec({"kind": "flash_crowd", "start": 1.0,
+                                "end": 2.0, "peak": 4.0})
+    assert isinstance(mod, FlashCrowd) and mod.peak == 4.0
+    with pytest.raises(SpecError):
+        modulation_from_spec({"kind": "square-wave"})
+    with pytest.raises(SpecError):
+        modulation_from_spec({"kind": "diurnal", "period": -1.0})
+
+
+def test_lifetime_from_spec_kinds_and_sampling():
+    assert lifetime_from_spec(None) is None
+    rng = derive_rng(2, "life")
+    fixed = lifetime_from_spec({"kind": "fixed", "value": 7.0})
+    assert isinstance(fixed, FixedLifetime)
+    assert fixed.sample(rng) == 7.0
+    pareto = lifetime_from_spec({"kind": "pareto", "shape": 1.5,
+                                 "scale": 10.0})
+    samples = [pareto.sample(rng) for _ in range(2000)]
+    assert min(samples) >= 10.0  # scale is the minimum lifetime
+    exp = lifetime_from_spec({"kind": "exponential", "mean": 5.0})
+    mean = sum(exp.sample(rng) for _ in range(4000)) / 4000
+    assert 4.5 < mean < 5.5
+    with pytest.raises(SpecError):
+        lifetime_from_spec({"kind": "pareto", "shape": -1, "scale": 1})
+    with pytest.raises(SpecError):
+        lifetime_from_spec({"kind": "lognormal"})
+
+
+def test_zipf_popularity_prefers_low_ranks():
+    pop = ZipfPopularity(exponent=1.2)
+    rng = derive_rng(3, "zipf")
+    population = ["h{}".format(i) for i in range(50)]
+    picks = [pop.pick(rng, population) for _ in range(3000)]
+    head = sum(1 for p in picks if p in population[:5])
+    tail = sum(1 for p in picks if p in population[-5:])
+    assert head > 3 * tail
+    # The per-size weight vector is computed once and reused.
+    assert set(pop._weights_cache) == {50}
+
+
+def test_popularity_from_spec_and_empty_population():
+    assert isinstance(popularity_from_spec(None), UniformPopularity)
+    assert isinstance(popularity_from_spec({"kind": "zipf"}), ZipfPopularity)
+    with pytest.raises(SpecError):
+        popularity_from_spec({"kind": "lru"})
+    rng = derive_rng(0)
+    with pytest.raises(ValueError):
+        UniformPopularity().pick(rng, [])
+    with pytest.raises(ValueError):
+        ZipfPopularity().pick(rng, [])
+
+
+def test_processes_are_deterministic_per_stream():
+    proc = PoissonProcess(rate=3.0, modulation=FlashCrowd(5.0, 8.0, 2.0))
+    a = [proc.next_arrival(derive_rng(7, "s", i), 0.0) for i in range(20)]
+    b = [proc.next_arrival(derive_rng(7, "s", i), 0.0) for i in range(20)]
+    assert a == b
