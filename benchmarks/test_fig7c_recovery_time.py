@@ -8,7 +8,6 @@ detection + LSA flood + SPF, plus a purely local cache-invalidation pass
 The bench measures both clocks over random single-link failures.
 """
 
-from repro.linkstate.lsdb import LinkStateMap
 from repro.linkstate.protocol import FloodModel, OspfTimers
 from repro.linkstate.spf import PathCache
 from repro.intra.network import IntraDomainNetwork

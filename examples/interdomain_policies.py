@@ -7,7 +7,6 @@ Run:  python examples/interdomain_policies.py
 
 from repro import quick_interdomain
 from repro.idspace.crypto import KeyPair
-from repro.inter.policy import JoinStrategy
 from repro.services.traffic_eng import (MultihomedSuffixJoin,
                                         negotiate_path_set, send_negotiated)
 from repro.topology.hosts import PlannedHost

@@ -6,6 +6,11 @@ Commands:
   evaluation figures (same as ``examples/reproduce_paper.py``).
 * ``workload <scenario.json|builtin> [--seed N] [--json PATH]`` — run a
   declarative churn/traffic/fault scenario (``--list`` names builtins).
+  ``--trace-out out.jsonl`` records a causal packet trace; ``--probes``
+  runs live invariant probes.
+* ``trace`` — route packets under the ``repro.obs`` tracer and render
+  each decision tree with per-hop stretch attribution; ``--scenario``
+  replays a workload window instead.
 * ``quickstart`` — a 30-second end-to-end tour of the intradomain system.
 * ``info`` — package, paper, and inventory summary.
 
@@ -69,11 +74,26 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         print("no figure matches {!r}; choices: {}".format(
             args.only, ", ".join(plan)), file=sys.stderr)
         return 2
+    tracer = None
+    if args.trace_out is not None:
+        from repro.obs import trace as obs_trace
+        tracer = obs_trace.install(obs_trace.Tracer(
+            sink=obs_trace.JsonlSink(args.trace_out),
+            sample=args.trace_sample))
     start = time.time()
-    for name, (build, render) in selected.items():
-        step = time.time()
-        print(render(build()))
-        print("[{} took {:.1f}s]\n".format(name, time.time() - step))
+    try:
+        for name, (build, render) in selected.items():
+            step = time.time()
+            print(render(build()))
+            print("[{} took {:.1f}s]\n".format(name, time.time() - step))
+    finally:
+        if tracer is not None:
+            from repro.obs import trace as obs_trace
+            obs_trace.uninstall()
+            tracer.close()
+            print("trace: {} records -> {}".format(tracer.records_emitted,
+                                                   args.trace_out),
+                  file=sys.stderr)
     print("done in {:.1f}s".format(time.time() - start))
     return 0
 
@@ -135,7 +155,28 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         print("workload: {}".format(exc), file=sys.stderr)
         return 2
 
-    result = run_scenario(scenario)
+    tracer = None
+    if args.trace_out is not None or args.probes:
+        from repro.obs import trace as obs_trace
+        sink = (obs_trace.JsonlSink(args.trace_out)
+                if args.trace_out is not None else obs_trace.NullSink())
+        tracer = obs_trace.Tracer(sink=sink, sample=args.trace_sample)
+        obs_trace.install(tracer)
+    try:
+        result = run_scenario(scenario, tracer=tracer, probes=args.probes)
+    finally:
+        if tracer is not None:
+            from repro.obs import trace as obs_trace
+            obs_trace.uninstall()
+            tracer.close()
+            if args.trace_out is not None:
+                print("trace: {} records ({} spans, {} sampled out) -> {}"
+                      .format(tracer.records_emitted, tracer.spans_started,
+                              tracer.spans_dropped, args.trace_out),
+                      file=sys.stderr)
+    if result.violations:
+        print("probes: {} violation(s)".format(len(result.violations)),
+              file=sys.stderr)
 
     if args.json is not None:
         payload = json.dumps(result.deterministic_view(), indent=2,
@@ -181,6 +222,98 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Route packets under the tracer and explain each decision tree."""
+    from repro.obs import explain
+    from repro.obs import trace as obs_trace
+    from repro.obs.probes import ProbeSet
+
+    tracer = obs_trace.Tracer(sink=obs_trace.RingBufferSink(capacity=None),
+                              sample=args.trace_sample)
+
+    if args.scenario is not None:
+        # Replay a scenario window with tracing + probes on, then explain
+        # the last packets it routed.
+        from repro.workload import (BUILTIN_SCENARIOS, Scenario,
+                                    ScenarioError, builtin_scenario,
+                                    run_scenario)
+        try:
+            if args.scenario in BUILTIN_SCENARIOS:
+                scenario = builtin_scenario(args.scenario, seed=args.seed)
+            elif os.path.exists(args.scenario):
+                scenario = Scenario.load(args.scenario)
+                if args.seed != 0:
+                    scenario.seed = args.seed
+            else:
+                raise ScenarioError(
+                    "no such builtin or file: {!r}".format(args.scenario))
+        except ScenarioError as exc:
+            print("trace: {}".format(exc), file=sys.stderr)
+            return 2
+        with obs_trace.tracing(tracer):
+            result = run_scenario(scenario, tracer=tracer, probes=True)
+        records = tracer.sink.records()
+        packets = explain.explain_packets(records)
+        print("scenario {!r}: {} trace records, {} packet spans, "
+              "{} probe violation(s)".format(
+                  scenario.name, len(records), len(packets),
+                  len(result.violations)))
+        for violation in result.violations:
+            print("  violation[{}] @{:.1f}: {}".format(
+                violation["probe"], violation["t"], violation["detail"]))
+        for packet in packets[-args.packets:]:
+            print()
+            print(packet.render())
+        if args.trace_out is not None:
+            obs_trace.dump_jsonl(records, args.trace_out)
+            print("\nwrote {} records to {}".format(len(records),
+                                                    args.trace_out))
+        return 0
+
+    # Standalone: build a small network, route packets, explain each.
+    if args.inter:
+        from repro.inter.network import InterDomainNetwork
+        from repro.topology.asgraph import synthetic_as_graph
+        net = InterDomainNetwork(synthetic_as_graph(n_ases=args.ases,
+                                                    seed=args.seed),
+                                 seed=args.seed, cache_entries=256)
+    else:
+        from repro.intra.network import IntraDomainNetwork
+        from repro.topology.isp import synthetic_isp
+        net = IntraDomainNetwork(synthetic_isp(n_routers=args.routers,
+                                               seed=args.seed),
+                                 seed=args.seed)
+    net.join_random_hosts(args.hosts)
+    results = []
+    with obs_trace.tracing(tracer):
+        probes = ProbeSet.for_network(net, tracer=tracer)
+        for _ in range(args.packets):
+            a, b = net.random_host_pair()
+            results.append((a, b, net.send(a, b)))
+        probes.tick(0.0)
+
+    records = tracer.sink.records()
+    packets = explain.explain_packets(records)
+    for (a, b, result), packet in zip(results, packets):
+        print("{} -> {}:".format(a, b))
+        print(packet.render(result.optimal_hops))
+        attributed = packet.total_stretch(result.optimal_hops)
+        print("  attribution: {} segment(s) summing to stretch {:.3f} "
+              "(PathResult.stretch {:.3f})".format(
+                  len(packet.segments), attributed, result.stretch))
+        print()
+    if probes.violations:
+        print("probes: {} violation(s)".format(len(probes.violations)))
+        for violation in probes.summary():
+            print("  {}".format(violation))
+    else:
+        print("probes: ring/SPF/isolation invariants clean")
+    if args.trace_out is not None:
+        obs_trace.dump_jsonl(records, args.trace_out)
+        print("wrote {} records to {}".format(len(records), args.trace_out))
+    return 0
+
+
 def _cmd_info(_args: argparse.Namespace) -> int:
     import repro
     print("repro {} — ROFL: Routing on Flat Labels (SIGCOMM 2006)".format(
@@ -203,6 +336,10 @@ def main(argv=None) -> int:
                          help="larger (slower) workloads")
     figures.add_argument("--only", default=None,
                          help="run only figures whose id starts with this")
+    figures.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="record a JSONL packet trace while figures run")
+    figures.add_argument("--trace-sample", type=float, default=1.0,
+                         metavar="F", help="fraction of packet spans to keep")
     figures.set_defaults(func=_cmd_figures)
 
     workload = sub.add_parser(
@@ -218,7 +355,36 @@ def main(argv=None) -> int:
                                "('-' for stdout)")
     workload.add_argument("--list", action="store_true",
                           help="list builtin scenarios and exit")
+    workload.add_argument("--trace-out", default=None, metavar="PATH",
+                          help="record a JSONL packet trace of the run")
+    workload.add_argument("--trace-sample", type=float, default=1.0,
+                          metavar="F", help="fraction of packet spans to keep")
+    workload.add_argument("--probes", action="store_true",
+                          help="run live invariant probes during the run")
     workload.set_defaults(func=_cmd_workload)
+
+    tracecmd = sub.add_parser(
+        "trace",
+        help="route packets under the tracer and explain the decisions")
+    tracecmd.add_argument("--inter", action="store_true",
+                          help="interdomain network instead of intradomain")
+    tracecmd.add_argument("--routers", type=int, default=24,
+                          help="intra: router count (default 24)")
+    tracecmd.add_argument("--ases", type=int, default=30,
+                          help="inter: AS count (default 30)")
+    tracecmd.add_argument("--hosts", type=int, default=60,
+                          help="hosts to join before routing (default 60)")
+    tracecmd.add_argument("--packets", type=int, default=1,
+                          help="packets to route and explain (default 1)")
+    tracecmd.add_argument("--seed", type=int, default=0)
+    tracecmd.add_argument("--scenario", default=None,
+                          help="replay this workload scenario under tracing "
+                               "instead of routing standalone packets")
+    tracecmd.add_argument("--trace-out", default=None, metavar="PATH",
+                          help="also dump the records as JSONL")
+    tracecmd.add_argument("--trace-sample", type=float, default=1.0,
+                          metavar="F", help="fraction of packet spans to keep")
+    tracecmd.set_defaults(func=_cmd_trace)
 
     quick = sub.add_parser("quickstart", help="run the quickstart scenario")
     quick.set_defaults(func=_cmd_quickstart)

@@ -26,6 +26,7 @@ from typing import Dict, Hashable, List, Optional, TYPE_CHECKING
 from repro.idspace.identifier import FlatId, RingSpace
 from repro.inter.pointers import ASPointer, InterVirtualNode
 from repro.intra.pointercache import PointerCache
+from repro.obs import trace
 from repro.util import perf
 from repro.util.bloom import BloomFilter
 from repro.util.ringmap import SortedRingMap
@@ -242,6 +243,10 @@ class RoflAS:
                 continue
             if arrived_from is not None and not net.policy.shortcut_allowed(
                     arrived_from, self.asn, ptr.as_route):
+                if trace.ENABLED:
+                    trace.event_in_current("policy.filter", asn=str(self.asn),
+                                           target=ptr.dest_id.to_hex(),
+                                           rule=ptr.trace_tag)
                 continue
             return ptr
         return None
@@ -258,16 +263,35 @@ class RoflAS:
         # below this AS, the cache must not be used — a cached shortcut
         # could pull intra-subtree traffic up through a provider.
         if dest in self.subtree_bloom:
+            if trace.ENABLED:
+                trace.event_in_current("cache.bloom-guard",
+                                       asn=str(self.asn),
+                                       dest=dest.to_hex())
             return None
         ptr = self.cache.best_match(dest)
         if ptr is None:
+            if trace.ENABLED:
+                trace.event_in_current("cache.miss", asn=str(self.asn),
+                                       dest=dest.to_hex())
             return None
         dist = self.space.distance_cw_i(ptr.dest_id.value, dest.value)
         if better_than is not None and dist >= better_than:
+            if trace.ENABLED:
+                trace.event_in_current("cache.reject", asn=str(self.asn),
+                                       dest=dest.to_hex(),
+                                       target=ptr.dest_id.to_hex())
             return None
         if arrived_from is not None and not net.policy.shortcut_allowed(
                 arrived_from, self.asn, ptr.as_route):
+            if trace.ENABLED:
+                trace.event_in_current("policy.filter", asn=str(self.asn),
+                                       target=ptr.dest_id.to_hex(),
+                                       rule="cache")
             return None
+        if trace.ENABLED:
+            trace.event_in_current("cache.hit", asn=str(self.asn),
+                                   dest=dest.to_hex(),
+                                   target=ptr.dest_id.to_hex())
         return ASBestMatch(ptr.dest_id, ptr, None, dist)
 
     # -- upkeep -------------------------------------------------------------------

@@ -44,6 +44,18 @@ class ASPointer:
     def n_hops(self) -> int:
         return len(self.as_route) - 1
 
+    @property
+    def trace_tag(self) -> str:
+        """The rule vocabulary `repro.obs` tags decisions with: how this
+        pointer makes greedy progress (cache shortcut, proximity finger,
+        internal successor, or a successor formed at an outer hierarchy
+        level — the paper's "external pointer")."""
+        if self.kind in ("cache", "finger"):
+            return self.kind
+        if self.level is not None:
+            return "external-" + self.kind
+        return self.kind
+
 
 @dataclass
 class InterVirtualNode:

@@ -34,6 +34,7 @@ from typing import Hashable, List, Optional, TYPE_CHECKING
 
 from repro.idspace.identifier import FlatId
 from repro.inter.pointers import ASPointer, InterVirtualNode
+from repro.obs import trace
 from repro.util import perf
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -78,6 +79,10 @@ def route(
     if mode not in ("data", "lookup"):
         raise ValueError("unknown mode {!r}".format(mode))
     perf.counter("inter.fwd.packets")
+    tr = trace.packet_span("inter.packet", start=str(start_as),
+                           dest=dest_id.to_hex(), mode=mode,
+                           scope=str(scope) if scope is not None
+                           else None) if trace.ENABLED else None
     space = net.space
     greedy_dest = dest_id if mode == "data" else space.make(dest_id.value - 1)
 
@@ -97,6 +102,10 @@ def route(
             outcome.reason = "delivered"
             outcome.final_vn = node.hosted[dest_id]
             net.stats.charge_path(outcome.as_path, category)
+            if tr is not None:
+                tr.end(delivered=True, reason="delivered",
+                       router=str(current))
+                trace.close_span(tr)
             return outcome
 
         if committed is not None and current == committed.dest_as \
@@ -125,6 +134,11 @@ def route(
             elif owner is not None:
                 owner.drop_pointer(committed)
                 node.cache.invalidate_id(committed.dest_id)
+            if tr is not None:
+                tr.event("nack", router=str(current),
+                         action="reroute" if repaired is not None
+                         else "teardown",
+                         target=committed.dest_id.to_hex())
             committed = None
             committed_dist = space.size
             continue
@@ -142,6 +156,10 @@ def route(
                     outcome.reason = "predecessor found"
                     outcome.final_vn = match.resident_vn
                     net.stats.charge_path(outcome.as_path, category)
+                    if tr is not None:
+                        tr.end(delivered=True, reason="predecessor found",
+                               router=str(current))
+                        trace.close_span(tr)
                     return outcome
                 outcome.reason = "destination ID not found"
                 break
@@ -149,6 +167,10 @@ def route(
                 outcome.reason = "no progress available"
                 break
             if match.is_local:
+                if tr is not None:
+                    tr.decision(router=str(current), rule="local-adopt",
+                                target=match.dest_id.to_hex(),
+                                distance=match.distance)
                 committed = None
                 committed_dist = match.distance
                 continue
@@ -160,6 +182,10 @@ def route(
             committed_dist = match.distance
             outcome.pointer_hops += 1
             outcome.used_cache = outcome.used_cache or pointer.kind == "cache"
+            if tr is not None:
+                tr.decision(router=str(current), rule=pointer.trace_tag,
+                            target=pointer.dest_id.to_hex(),
+                            distance=match.distance)
             if pointer.n_hops == 0:
                 # Zero-hop pointer: the target is hosted right here (but
                 # was not an admissible local position, e.g. a non-member
@@ -172,12 +198,19 @@ def route(
                                        arrived_from=arrived_from,
                                        use_cache=use_cache)
             if shortcut is not None and shortcut.distance < committed_dist:
+                if tr is not None:
+                    tr.event("shortcut", router=str(current),
+                             distance=shortcut.distance)
                 committed = None
                 continue
 
         next_as = committed.as_route[committed_step + 1]
         if not net.as_is_up(next_as):
             pointer = net.validate_pointer(node, committed, from_as=current)
+            if tr is not None:
+                tr.event("repair", router=str(current),
+                         target=committed.dest_id.to_hex(),
+                         repaired=pointer is not None)
             if pointer is None:
                 committed = None
                 committed_dist = space.size
@@ -189,6 +222,8 @@ def route(
         if net.policy.step_type(current, next_as) == "peer":
             outcome.crossed_peer = True
         outcome.as_path.append(next_as)
+        if tr is not None:
+            tr.hop(frm=str(current), to=str(next_as))
         arrived_from = current
         current = next_as
         committed_step += 1
@@ -198,6 +233,9 @@ def route(
 
     outcome.delivered = False
     net.stats.charge_path(outcome.as_path, category)
+    if tr is not None:
+        tr.end(delivered=False, reason=outcome.reason, router=str(current))
+        trace.close_span(tr)
     return outcome
 
 
@@ -262,6 +300,9 @@ def route_bloom_peering(
     over the peering link, at which point [it] continues on its original
     path").  After crossing a peer link the packet may not go up again.
     """
+    tr = trace.packet_span("inter.bloom-packet", start=str(start_as),
+                           dest=dest_id.to_hex(),
+                           mode="data") if trace.ENABLED else None
     outcome = InterOutcome(delivered=False, reason="in-flight",
                            as_path=[start_as])
     current = start_as
@@ -274,17 +315,28 @@ def route_bloom_peering(
             outcome.reason = "delivered"
             outcome.final_vn = node.hosted[dest_id]
             net.stats.charge_path(outcome.as_path, category)
+            if tr is not None:
+                tr.end(delivered=True, reason="delivered",
+                       router=str(current))
+                trace.close_span(tr)
             return outcome
 
         if dest_id in node.subtree_bloom:
             # Claimed below us: greedy descent scoped to our subtree.
             descent = _scoped_descent(net, current, dest_id, category)
+            if tr is not None:
+                tr.event("bloom.descend", router=str(current),
+                         hit=descent.delivered)
             if descent.delivered:
                 outcome.as_path.extend(descent.as_path[1:])
                 outcome.pointer_hops += descent.pointer_hops
                 outcome.delivered = True
                 outcome.reason = "delivered"
                 outcome.final_vn = descent.final_vn
+                if tr is not None:
+                    tr.end(delivered=True, reason="delivered",
+                           router=str(descent.as_path[-1]))
+                    trace.close_span(tr)
                 return outcome
             # False positive inside our own filter: fall through and keep
             # climbing (the descent cost is already charged).
@@ -303,10 +355,17 @@ def route_bloom_peering(
                 descent = _scoped_descent(net, peer, dest_id, category)
                 outcome.as_path.extend(descent.as_path[1:])
                 outcome.pointer_hops += descent.pointer_hops
+                if tr is not None:
+                    tr.event("bloom.peer-cross", router=str(current),
+                             peer=str(peer), hit=descent.delivered)
                 if descent.delivered:
                     outcome.delivered = True
                     outcome.reason = "delivered"
                     outcome.final_vn = descent.final_vn
+                    if tr is not None:
+                        tr.end(delivered=True, reason="delivered",
+                               router=str(descent.as_path[-1]))
+                        trace.close_span(tr)
                     return outcome
                 # False positive: backtrack over the peering link and
                 # continue on the original path.
@@ -324,10 +383,15 @@ def route_bloom_peering(
         nxt = sorted(providers, key=str)[0]
         visited_up.append(current)
         outcome.as_path.append(nxt)
+        if tr is not None:
+            tr.event("bloom.climb", frm=str(current), to=str(nxt))
         net.stats.charge_hops(1, category)
         current = nxt
     else:
         outcome.reason = "hop limit exceeded"
 
     outcome.delivered = False
+    if tr is not None:
+        tr.end(delivered=False, reason=outcome.reason, router=str(current))
+        trace.close_span(tr)
     return outcome

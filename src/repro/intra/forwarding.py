@@ -26,6 +26,7 @@ from typing import List, Optional, TYPE_CHECKING
 
 from repro.idspace.identifier import FlatId
 from repro.intra.virtualnode import Pointer, VirtualNode
+from repro.obs import trace
 from repro.util import perf
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -69,6 +70,9 @@ def route(
     if mode not in ("data", "lookup"):
         raise ValueError("unknown mode {!r}".format(mode))
     perf.counter("fwd.packets")
+    tr = trace.packet_span("intra.packet", start=start_router,
+                           dest=dest_id.to_hex(),
+                           mode=mode) if trace.ENABLED else None
     space = net.space
     include_ephemeral = mode == "data"
     # Lookups aim at the spot just before the target so greedy routing
@@ -90,6 +94,9 @@ def route(
             outcome.reason = "delivered"
             outcome.final_vn = router.vn_table[dest_id]
             net.stats.charge_path(outcome.path, category)
+            if tr is not None:
+                tr.end(delivered=True, reason="delivered", router=current)
+                trace.close_span(tr)
             return outcome
 
         if committed is not None and current == committed.hosting_router \
@@ -110,10 +117,16 @@ def route(
                 if owner is not None and new_path is not None:
                     owner.reroute_pointer(committed,
                                           committed.rerouted(tuple(new_path)))
+                if tr is not None:
+                    tr.event("nack", router=current, action="reroute",
+                             target=committed.dest_id.to_hex())
             else:
                 if owner is not None:
                     owner.drop_pointer(committed)
                 router.cache.invalidate_id(committed.dest_id)
+                if tr is not None:
+                    tr.event("nack", router=current, action="teardown",
+                             target=committed.dest_id.to_hex())
             committed = None
             committed_dist = space.size
             continue
@@ -133,6 +146,10 @@ def route(
                     outcome.reason = "predecessor found"
                     outcome.final_vn = match.resident_vn
                     net.stats.charge_path(outcome.path, category)
+                    if tr is not None:
+                        tr.end(delivered=True, reason="predecessor found",
+                               router=current)
+                        trace.close_span(tr)
                     return outcome
                 outcome.reason = "destination ID not found"
                 break
@@ -149,7 +166,15 @@ def route(
                     outcome.reason = "predecessor found"
                     outcome.final_vn = match.resident_vn
                     net.stats.charge_path(outcome.path, category)
+                    if tr is not None:
+                        tr.end(delivered=True, reason="predecessor found",
+                               router=current)
+                        trace.close_span(tr)
                     return outcome
+                if tr is not None:
+                    tr.decision(router=current, rule="local-adopt",
+                                target=match.resident_vn.id.to_hex(),
+                                distance=match.distance)
                 committed = None
                 committed_dist = match.distance
                 continue
@@ -163,6 +188,10 @@ def route(
             committed_dist = match.distance
             outcome.pointer_hops += 1
             outcome.used_cache = outcome.used_cache or pointer.kind == "cache"
+            if tr is not None:
+                tr.decision(router=current, rule=pointer.kind,
+                            target=pointer.dest_id.to_hex(),
+                            distance=match.distance)
             if pointer.n_hops == 0:
                 # Zero-hop pointer: the target ID is resident at this very
                 # router — adopt its ring position and re-decide locally.
@@ -175,6 +204,9 @@ def route(
             shortcut = router.best_match(greedy_dest,
                                          include_ephemeral=include_ephemeral)
             if shortcut is not None and shortcut.distance < committed_dist:
+                if tr is not None:
+                    tr.event("shortcut", router=current,
+                             distance=shortcut.distance)
                 committed = None
                 continue
 
@@ -183,6 +215,10 @@ def route(
         if not net.lsmap.is_link_up(current, next_router):
             # The route broke under us; repair from here or tear down.
             pointer = net.validate_pointer(router, committed, from_router=current)
+            if tr is not None:
+                tr.event("repair", router=current,
+                         target=committed.dest_id.to_hex(),
+                         repaired=pointer is not None)
             if pointer is None:
                 committed = None
                 committed_dist = space.size
@@ -193,6 +229,8 @@ def route(
         perf.counter("fwd.hops")
         outcome.latency_ms += net.lsmap.live_graph.edges[current, next_router]["latency_ms"]
         outcome.path.append(next_router)
+        if tr is not None:
+            tr.hop(frm=current, to=next_router)
         current = next_router
         committed_step += 1
 
@@ -201,6 +239,9 @@ def route(
 
     outcome.delivered = False
     net.stats.charge_path(outcome.path, category)
+    if tr is not None:
+        tr.end(delivered=False, reason=outcome.reason, router=current)
+        trace.close_span(tr)
     return outcome
 
 

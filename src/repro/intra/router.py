@@ -35,6 +35,7 @@ from typing import Dict, List, Optional
 from repro.idspace.identifier import FlatId, RingSpace
 from repro.intra.pointercache import PointerCache
 from repro.intra.virtualnode import Pointer, VirtualNode
+from repro.obs import trace
 from repro.util import perf
 from repro.util.ringmap import SortedRingMap
 
@@ -275,10 +276,21 @@ class RoflRouter:
         ``dest``) than ``better_than``."""
         ptr = self.cache.best_match(dest)
         if ptr is None:
+            if trace.ENABLED:
+                trace.event_in_current("cache.miss", router=self.name,
+                                       dest=dest.to_hex())
             return None
         dist = self.space.distance_cw_i(ptr.dest_id.value, dest.value)
         if better_than is not None and dist >= better_than:
+            if trace.ENABLED:
+                trace.event_in_current("cache.reject", router=self.name,
+                                       dest=dest.to_hex(),
+                                       target=ptr.dest_id.to_hex())
             return None
+        if trace.ENABLED:
+            trace.event_in_current("cache.hit", router=self.name,
+                                   dest=dest.to_hex(),
+                                   target=ptr.dest_id.to_hex())
         return BestMatch(ptr.dest_id, ptr, None, dist)
 
     def best_match(self, dest: FlatId,

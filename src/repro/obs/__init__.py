@@ -1,0 +1,22 @@
+"""``repro.obs`` — causal tracing, route-decision explain, invariant probes.
+
+Zero-dependency observability for the whole stack.  See DESIGN.md §7.
+"""
+
+from repro.obs.explain import (PacketExplanation, Segment, explain_packets,
+                               explain_span, last_packet, packet_spans)
+from repro.obs.probes import (CacheIsolationProbe, InterRingConsistencyProbe,
+                              Probe, ProbeSet, RingConsistencyProbe,
+                              SpfAgreementProbe, Violation)
+from repro.obs.trace import (JsonlSink, NullSink, RingBufferSink, Span,
+                             TraceRecord, Tracer, get_tracer, install,
+                             read_jsonl, tracing, uninstall)
+
+__all__ = [
+    "CacheIsolationProbe", "InterRingConsistencyProbe", "JsonlSink",
+    "NullSink", "PacketExplanation", "Probe", "ProbeSet",
+    "RingBufferSink", "RingConsistencyProbe", "Segment", "Span",
+    "SpfAgreementProbe", "TraceRecord", "Tracer", "Violation",
+    "explain_packets", "explain_span", "get_tracer", "install",
+    "last_packet", "packet_spans", "read_jsonl", "tracing", "uninstall",
+]

@@ -1,0 +1,221 @@
+"""Live invariant probes: structured violations during workload runs.
+
+Probes watch a running network two ways: *event-driven* checks subscribe
+to the installed tracer's record stream (e.g. every ``cache.hit`` must
+respect the Bloom isolation guard), and *periodic* checks run on
+:meth:`ProbeSet.tick` (ring successor consistency, Bloom residency,
+LSDB/SPF agreement).  A failed check produces a structured
+:class:`Violation` — and, when a tracer is attached, a
+``probe.violation`` trace record — instead of an exception, so a
+workload run completes and reports every invariant breach it saw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.trace import Tracer, TraceRecord
+
+
+@dataclass
+class Violation:
+    """One observed invariant breach."""
+
+    probe: str
+    t: float
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"probe": self.probe, "t": self.t, "detail": self.detail}
+
+
+class Probe:
+    """Base class; subclasses override ``check`` and/or ``on_record``."""
+
+    name = "probe"
+
+    def check(self, report) -> None:
+        """Periodic invariant sweep; call ``report(**detail)`` per breach."""
+
+    def on_record(self, record: TraceRecord, report) -> None:
+        """React to one live trace record."""
+
+
+class RingConsistencyProbe(Probe):
+    """Intra: live members must form one sorted successor ring per
+    component (wraps :meth:`IntraDomainNetwork.check_ring`)."""
+
+    name = "ring-consistency"
+
+    def __init__(self, net):
+        self.net = net
+
+    def check(self, report) -> None:
+        try:
+            self.net.check_ring()
+        except AssertionError as exc:
+            report(error=str(exc))
+
+
+class InterRingConsistencyProbe(Probe):
+    """Inter: every hierarchy level's merged ring must be consistent
+    (wraps :meth:`InterDomainNetwork.check_rings`)."""
+
+    name = "inter-ring-consistency"
+
+    def __init__(self, net):
+        self.net = net
+
+    def check(self, report) -> None:
+        try:
+            self.net.check_rings()
+        except AssertionError as exc:
+            report(error=str(exc))
+
+
+class CacheIsolationProbe(Probe):
+    """Inter: pointer-cache use must respect the subtree Bloom guard.
+
+    Event-driven: a ``cache.hit`` for a destination that the hitting
+    AS's subtree Bloom claims is *below* it would let a cached shortcut
+    pull intra-subtree traffic through a provider (Section 5) — the
+    guard in :meth:`RoflAS._cache_match` exists to prevent exactly this.
+    Periodic: every hosted ID must be resident in the subtree Bloom of
+    each of its ancestors (Blooms admit false positives, never false
+    negatives, so a miss means a stale filter).
+    """
+
+    name = "cache-isolation"
+
+    def __init__(self, net):
+        self.net = net
+
+    def on_record(self, record: TraceRecord, report) -> None:
+        if record.kind != "cache.hit":
+            return
+        asn = record.data.get("asn")
+        dest_hex = record.data.get("dest")
+        # Trace data stringifies AS numbers for JSON; map back.
+        node = self.net.ases.get(asn)
+        if node is None:
+            node = next((n for key, n in self.net.ases.items()
+                         if str(key) == asn), None)
+        if node is None or dest_hex is None:
+            return
+        from repro.idspace.identifier import FlatId
+        dest = FlatId.from_hex(dest_hex)
+        if dest in node.subtree_bloom:
+            report(kind="bloom-guard-bypassed", asn=asn, dest=dest_hex)
+
+    def check(self, report) -> None:
+        hierarchy = self.net.policy.hierarchy
+        for asn, node in self.net.ases.items():
+            for vn in node.hosted.values():
+                for ancestor in hierarchy.up_chain(vn.home_as):
+                    if vn.id not in self.net.ases[ancestor].subtree_bloom:
+                        report(kind="bloom-missing-resident",
+                               asn=ancestor, dest=vn.id.to_hex())
+
+
+class SpfAgreementProbe(Probe):
+    """Intra: the event-invalidated :class:`PathCache` must agree with a
+    fresh SPF over the live LSDB (selective eviction gone wrong shows up
+    as a stale cached distance)."""
+
+    name = "spf-agreement"
+
+    #: Pairs checked per tick; deterministic picks, no RNG draw.
+    MAX_PAIRS = 8
+
+    def __init__(self, net):
+        self.net = net
+
+    def _sample_pairs(self):
+        routers = sorted(self.net.routers)
+        n = len(routers)
+        if n < 2:
+            return
+        step = max(1, n // self.MAX_PAIRS)
+        for i in range(0, n, step):
+            yield routers[i], routers[(i + n // 2) % n]
+
+    def check(self, report) -> None:
+        import networkx as nx
+        graph = self.net.lsmap.live_graph
+        for src, dst in self._sample_pairs():
+            if src == dst:
+                continue
+            cached = self.net.paths.hop_dist(src, dst)
+            if src not in graph or dst not in graph:
+                fresh = None
+            else:
+                try:
+                    fresh = nx.shortest_path_length(graph, src, dst)
+                except nx.NetworkXNoPath:
+                    fresh = None
+            if cached != fresh:
+                report(src=src, dst=dst, cached=cached, fresh=fresh)
+
+
+class ProbeSet:
+    """A bundle of probes sharing one violation log.
+
+    Attach to a tracer to receive live records (and echo violations as
+    ``probe.violation`` trace records); call :meth:`tick` from the
+    workload sampling loop for the periodic sweeps.
+    """
+
+    def __init__(self, probes: List[Probe],
+                 tracer: Optional[Tracer] = None):
+        self.probes = probes
+        self.tracer = tracer
+        self.violations: List[Violation] = []
+        self._now = 0.0
+        if tracer is not None:
+            tracer.add_observer(self.on_record)
+
+    @classmethod
+    def for_network(cls, net, tracer: Optional[Tracer] = None) -> "ProbeSet":
+        """The standard probe bundle for an intra or inter network."""
+        from repro.inter.network import InterDomainNetwork
+        from repro.intra.network import IntraDomainNetwork
+        probes: List[Probe] = []
+        if isinstance(net, IntraDomainNetwork):
+            probes = [RingConsistencyProbe(net), SpfAgreementProbe(net)]
+        elif isinstance(net, InterDomainNetwork):
+            probes = [InterRingConsistencyProbe(net),
+                      CacheIsolationProbe(net)]
+        return cls(probes, tracer=tracer)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _report_for(self, probe: Probe):
+        def report(**detail):
+            violation = Violation(probe=probe.name, t=self._now,
+                                  detail=detail)
+            self.violations.append(violation)
+            if self.tracer is not None:
+                self.tracer.emit("probe.violation", probe=probe.name,
+                                 **detail)
+        return report
+
+    def on_record(self, record: TraceRecord) -> None:
+        self._now = record.t
+        for probe in self.probes:
+            probe.on_record(record, self._report_for(probe))
+
+    def tick(self, now: float) -> int:
+        """Run every periodic check; returns violations found this tick."""
+        self._now = now
+        before = len(self.violations)
+        for probe in self.probes:
+            probe.check(self._report_for(probe))
+        return len(self.violations) - before
+
+    def detach(self) -> None:
+        if self.tracer is not None:
+            self.tracer.remove_observer(self.on_record)
+
+    def summary(self) -> List[Dict[str, Any]]:
+        return [v.to_dict() for v in self.violations]

@@ -42,13 +42,17 @@ class Event:
 class EventLoop:
     """Heap-based event scheduler with virtual time."""
 
-    def __init__(self) -> None:
+    def __init__(self, on_event: Optional[Callable[[Event], Any]] = None) -> None:
         self.now: float = 0.0
         self._heap: list = []
         self._counter = itertools.count()
         self._cancelled = 0  # cancelled events still sitting in the heap
         self.events_run = 0
         self.events_cancelled = 0  # total pending events ever cancelled
+        #: Observer invoked with each live event just before its callback
+        #: runs (after ``now`` advances).  Cancelled events are skipped in
+        #: the pop loop and never reach it.  Used by ``repro.obs``.
+        self.on_event = on_event
 
     def schedule(self, delay: float, callback: Callable[[], Any]) -> Event:
         """Schedule ``callback`` to run ``delay`` time units from now."""
@@ -96,6 +100,8 @@ class EventLoop:
             # Out of the heap: a late cancel() must not skew the count.
             event._on_cancel = None
             self.now = event.time
+            if self.on_event is not None:
+                self.on_event(event)
             event.callback()
             self.events_run += 1
             return True

@@ -36,11 +36,17 @@ class PathResult:
 
     @property
     def stretch(self) -> float:
-        """Traversed length over the baseline length (paper Section 6.1)."""
+        """Traversed length over the baseline length (paper Section 6.1).
+
+        Same-router delivery has no baseline path (``optimal_hops == 0``);
+        the defined value is 0.0 rather than a ZeroDivisionError (or a
+        fictitious 1.0) — aggregators already exclude these packets from
+        stretch averages by filtering on ``optimal_hops > 0``.
+        """
         if not self.delivered:
             return float("inf")
         if self.optimal_hops <= 0:
-            return 1.0
+            return 0.0
         return self.hops / self.optimal_hops
 
 

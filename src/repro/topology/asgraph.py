@@ -19,7 +19,7 @@ multihomed.  Host counts are assigned by :class:`repro.topology.hosts`.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 import networkx as nx
 

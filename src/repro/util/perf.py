@@ -16,7 +16,7 @@ trajectory is machine-checkable across PRs.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 
 class _Timer:

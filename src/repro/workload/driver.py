@@ -150,6 +150,8 @@ class WorkloadResult:
     summary: Dict = field(default_factory=dict)
     totals: Dict = field(default_factory=dict)
     fault_log: List[Dict] = field(default_factory=list)
+    #: Structured invariant-probe violations (empty unless probes ran).
+    violations: List[Dict] = field(default_factory=list)
     wall_seconds: float = 0.0
     events_per_sec: float = 0.0
 
@@ -162,6 +164,7 @@ class WorkloadResult:
             "summary": self.summary,
             "totals": self.totals,
             "fault_log": self.fault_log,
+            "violations": self.violations,
         }
 
 
@@ -172,7 +175,8 @@ class WorkloadResult:
 class WorkloadDriver:
     """One scenario bound to one network on one event loop."""
 
-    def __init__(self, scenario: Scenario, network=None):
+    def __init__(self, scenario: Scenario, network=None, tracer=None,
+                 probes: bool = False):
         scenario.validate()
         self.scenario = scenario
         self.net = network if network is not None else _build_network(scenario)
@@ -187,6 +191,19 @@ class WorkloadDriver:
         self._skipped_sends = 0
         self._failed_joins = 0
         self.metrics: Optional[MetricsRecorder] = None
+        #: Optional ``repro.obs`` wiring.  The tracer's clock is re-bound
+        #: to this loop's virtual time so records replay byte-for-byte;
+        #: probes tick on the sampling cadence and their violations land
+        #: in the result's deterministic view.
+        self.tracer = tracer
+        self.probes = None
+        if tracer is not None:
+            tracer.clock = lambda: self.loop.now
+            if tracer.loop_events:
+                self.loop.on_event = tracer.on_loop_event
+        if probes:
+            from repro.obs.probes import ProbeSet
+            self.probes = ProbeSet.for_network(self.net, tracer=tracer)
 
     # -- randomness ---------------------------------------------------------
 
@@ -282,6 +299,8 @@ class WorkloadDriver:
     def _sample(self) -> None:
         self.metrics.sample(self.loop.now, len(self.live_hosts()),
                             pending_events=self.loop.pending)
+        if self.probes is not None:
+            self.probes.tick(self.loop.now)
         nxt = self.loop.now + self.scenario.sample_interval
         if nxt <= self.scenario.duration:
             self.loop.schedule_at(nxt, self._sample)
@@ -370,12 +389,16 @@ class WorkloadDriver:
             summary=self.metrics.summary(),
             totals=totals,
             fault_log=list(self.fault_log),
+            violations=(self.probes.summary() if self.probes is not None
+                        else []),
             wall_seconds=round(wall, 4),
             events_per_sec=round(self.loop.events_run / wall, 1) if wall > 0
             else 0.0,
         )
 
 
-def run_scenario(scenario: Scenario, network=None) -> WorkloadResult:
+def run_scenario(scenario: Scenario, network=None, tracer=None,
+                 probes: bool = False) -> WorkloadResult:
     """Convenience one-shot: build a driver, run it, return the result."""
-    return WorkloadDriver(scenario, network=network).run()
+    return WorkloadDriver(scenario, network=network, tracer=tracer,
+                          probes=probes).run()

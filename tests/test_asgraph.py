@@ -1,6 +1,5 @@
 """AS-graph generator and relationship-annotation invariants."""
 
-import networkx as nx
 import pytest
 
 from repro.topology.asgraph import ASGraph, Relationship, synthetic_as_graph

@@ -108,7 +108,7 @@ def test_workload_json_output(tmp_path, capsys):
                  "--json", str(out_path)]) == 0
     data = json.loads(out_path.read_text())
     assert set(data) == {"scenario", "samples", "summary", "totals",
-                         "fault_log"}
+                         "fault_log", "violations"}
     assert data["scenario"]["name"] == "tiny"
     assert data["totals"]["warmup_hosts"] == 20
 

@@ -1,7 +1,7 @@
 """Unit + property tests for the flat identifier namespace."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.idspace.identifier import DEFAULT_BITS, FlatId, RingSpace

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro import quick_interdomain, quick_intradomain
 from repro.inter.policy import JoinStrategy

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.idspace.identifier import FlatId, RingSpace
+from repro.idspace.identifier import RingSpace
 from repro.inter.asnode import RoflAS
 from repro.inter.pointers import ASPointer, InterVirtualNode
 

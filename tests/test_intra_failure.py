@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro.intra.failure import directed_flood_cost
-from repro.intra.network import RingInconsistency
 
 
 class TestHostFailure:

@@ -5,10 +5,8 @@ import pytest
 from repro.idspace.crypto import KeyPair
 from repro.idspace.identifier import FlatId
 from repro.intra import ring
-from repro.intra.network import IntraDomainNetwork
 from repro.intra.ring import JoinError
 from repro.topology.hosts import PlannedHost
-from repro.topology.isp import synthetic_isp
 
 
 class TestBootstrap:

@@ -4,8 +4,7 @@ import random
 
 import pytest
 
-from repro.intra.partition import (pop_boundary_links, zero_id,
-                                   disconnect_and_reconnect_pop)
+from repro.intra.partition import pop_boundary_links, zero_id
 
 
 class TestBoundary:

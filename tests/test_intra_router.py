@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.idspace.identifier import FlatId, RingSpace
+from repro.idspace.identifier import RingSpace
 from repro.intra.router import RoflRouter
 from repro.intra.virtualnode import Pointer, VirtualNode
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.idspace.identifier import FlatId, RingSpace
+from repro.idspace.identifier import RingSpace
 from repro.intra.virtualnode import Pointer, VirtualNode
 
 SPACE = RingSpace(bits=16)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.idspace.identifier import FlatId
 from repro.sim.messages import (DataPacket, DeliveryReceipt, JoinRequest,
-                                JoinResponse, LinkStateAd, Message, PathSetup,
+                                JoinResponse, LinkStateAd, PathSetup,
                                 Teardown)
 
 

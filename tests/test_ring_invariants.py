@@ -20,7 +20,7 @@ import random
 
 import pytest
 
-from repro.idspace.identifier import FlatId, RingSpace
+from repro.idspace.identifier import RingSpace
 from repro.util.ringmap import SortedRingMap
 
 BITS = 16  # small namespace → wrap-around cases are common, not rare

@@ -21,7 +21,10 @@ def test_intra_invariants_across_seeds(seed, n_routers):
         a, b = net.random_host_pair()
         result = net.send(a, b)
         assert result.delivered
-        assert result.stretch >= 1.0 - 1e-9
+        if result.optimal_hops > 0:
+            assert result.stretch >= 1.0 - 1e-9
+        else:  # same-router delivery has no baseline: defined as 0.0
+            assert result.stretch == 0.0
     # One failure + one partition cycle per configuration.
     net.fail_host(sorted(net.hosts)[0])
     net.check_ring()

@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.inter.policy import JoinStrategy, VirtualAS
+from repro.inter.policy import JoinStrategy
 from repro.services.anycast_inter import InterAnycastGroup
-from repro.services.auditing import (AuditFinding, QuotaExceeded, QuotaPolicy,
+from repro.services.auditing import (QuotaExceeded, QuotaPolicy,
                                      SybilAuditor)
 
 

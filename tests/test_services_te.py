@@ -7,7 +7,6 @@ from repro.inter.network import InterDomainNetwork
 from repro.services.traffic_eng import (MultihomedSuffixJoin,
                                         build_regional_hierarchy,
                                         negotiate_path_set, send_negotiated)
-from repro.topology.asgraph import synthetic_as_graph
 from repro.topology.hosts import PlannedHost
 
 

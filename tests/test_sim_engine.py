@@ -196,3 +196,35 @@ def test_heap_compacts_when_cancelled_dominate():
     keep.cancel()
     assert loop.pending == 0
     assert not loop.run()
+
+
+class TestOnEventObserver:
+    def test_observer_sees_live_events_before_callbacks(self):
+        seen = []
+        loop = EventLoop()
+        loop.on_event = lambda ev: seen.append((loop.now, ev.seq))
+        fired = []
+        loop.schedule(1.0, lambda: fired.append("a"))
+        loop.schedule(2.0, lambda: fired.append("b"))
+        loop.run()
+        assert fired == ["a", "b"]
+        # Observer fires once per event, after now advances.
+        assert seen == [(1.0, 0), (2.0, 1)]
+
+    def test_cancelled_events_never_reach_observer(self):
+        seen = []
+        loop = EventLoop(on_event=seen.append)
+        live = loop.schedule(2.0, lambda: None)
+        doomed = loop.schedule(1.0, lambda: None)
+        doomed.cancel()
+        loop.run()
+        assert [ev.seq for ev in seen] == [live.seq]
+
+    def test_event_cancelled_by_earlier_callback_skips_observer(self):
+        seen = []
+        loop = EventLoop(on_event=seen.append)
+        victim = loop.schedule(2.0, lambda: None)
+        loop.schedule(1.0, victim.cancel)
+        loop.run()
+        # Only the cancelling event itself is observed.
+        assert len(seen) == 1 and seen[0] is not victim

@@ -11,8 +11,8 @@ checking after every step that
 
 import hypothesis.strategies as st
 from hypothesis import settings
-from hypothesis.stateful import (RuleBasedStateMachine, initialize,
-                                 invariant, precondition, rule)
+from hypothesis.stateful import (RuleBasedStateMachine, invariant,
+                                 precondition, rule)
 
 from repro.intra.network import IntraDomainNetwork
 from repro.topology.isp import synthetic_isp

@@ -65,6 +65,43 @@ class TestOperations:
         stats.charge_hops(9)
         assert stats.operation_costs("join") == [0]
 
+    def test_reentrant_same_kind_scopes_stay_distinct(self):
+        """Same-kind scopes nest (a join triggering a repair that joins a
+        replacement): each open record accumulates independently and both
+        close in inner-first order."""
+        stats = StatsCollector()
+        with stats.operation("join", host="outer") as outer:
+            stats.charge_hops(1, "join")
+            with stats.operation("join", host="inner") as inner:
+                stats.charge_hops(2, "join")
+            stats.charge_hops(4, "join")
+        assert inner["messages"] == 2
+        assert outer["messages"] == 7
+        assert stats.operation_costs("join") == [2, 7]
+        assert [op["host"] for op in stats.operations] == ["inner", "outer"]
+
+    def test_scope_closes_even_on_exception(self):
+        stats = StatsCollector()
+        with pytest.raises(RuntimeError):
+            with stats.operation("join"):
+                stats.charge_hops(3)
+                raise RuntimeError("boom")
+        assert stats._open_ops == []
+        assert stats.operation_costs("join") == [3]
+        # Later charges must not leak into the closed record.
+        stats.charge_hops(5)
+        assert stats.operation_costs("join") == [3]
+
+    def test_nested_scopes_count_router_traversals_once(self):
+        """charge_path attributes traversals globally, not per scope —
+        nesting must not double-count the load-balance series."""
+        stats = StatsCollector()
+        with stats.operation("outer"):
+            with stats.operation("inner"):
+                stats.charge_path(["a", "b", "c"], "join")
+        assert stats.load_series() == {"b": 1, "c": 1}
+        assert stats.total_messages("join") == 2
+
 
 class TestPathResult:
     def test_stretch(self):
@@ -73,8 +110,11 @@ class TestPathResult:
     def test_stretch_of_failed_delivery_is_inf(self):
         assert math.isinf(PathResult(False).stretch)
 
-    def test_zero_optimal_means_stretch_one(self):
-        assert PathResult(True, hops=0, optimal_hops=0).stretch == 1.0
+    def test_zero_optimal_means_stretch_zero(self):
+        """Same-router delivery has no baseline path; stretch is defined
+        as 0.0 (regression: this used to report a fictitious 1.0)."""
+        assert PathResult(True, hops=0, optimal_hops=0).stretch == 0.0
+        assert PathResult(True, hops=3, optimal_hops=0).stretch == 0.0
 
 
 class TestCdfHelpers:

@@ -47,7 +47,7 @@ def test_different_seed_diverges():
 def test_deterministic_view_excludes_wall_clock():
     view = run_scenario(_small_scenario()).deterministic_view()
     assert set(view) == {"scenario", "samples", "summary", "totals",
-                         "fault_log"}
+                         "fault_log", "violations"}
 
 
 def test_time_series_shape_and_totals():
