@@ -19,6 +19,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import resource
@@ -37,6 +38,12 @@ from repro.util import perf                                 # noqa: E402
 INTER_POPULATIONS = (500, 1000, 2500, 5000, 10000)
 INTRA_POPULATIONS = (500, 1000, 2500, 5000, 10000)
 QUICK_POPULATIONS = (100, 300)
+#: Opt-in (``--extended``) top end for the interdomain sweep.
+EXTENDED_INTER_POPULATIONS = INTER_POPULATIONS + (25000,)
+
+#: Scaling-cliff gate: sends/sec and joins/sec at the largest population
+#: must stay at least this fraction of the smallest population's rate.
+CLIFF_FLOOR = 0.6
 
 #: (scenario, arrival-rate multiplier) points for the workload sweep —
 #: the same builtin churn scenario driven harder and harder.
@@ -60,11 +67,32 @@ def peak_rss_mb() -> float:
     return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
 
 
-def _throughput_row(n_hosts: int, join_fn, send_fn, n_sends: int) -> dict:
+def _throughput_row(n_hosts: int, join_fn, send_fn, n_sends: int,
+                    settle_fn=None, warm_fn=None) -> dict:
+    """Time a join phase then a send phase and return one bench row.
+
+    ``settle_fn`` runs *inside* the join timing — deferred index
+    maintenance caused by the joins is charged to the join phase, not to
+    the first packets sent afterwards.  ``warm_fn`` runs *between* the
+    phases, outside both timings: it is for measurement-oracle work (the
+    BGP baseline tables behind the stretch denominator) that belongs to
+    neither protocol phase; its cost still shows up in the perf dump
+    under ``bench.oracle_warm``.
+    """
     perf.reset()
+    # Each phase starts garbage-free: a major collection of the previous
+    # phase's garbage landing inside the short send window would distort
+    # the throughput numbers.
+    gc.collect()
     t0 = time.perf_counter()
     join_fn(n_hosts)
+    if settle_fn is not None:
+        settle_fn()
     join_seconds = time.perf_counter() - t0
+    if warm_fn is not None:
+        with perf.timed("bench.oracle_warm"):
+            warm_fn()
+    gc.collect()
     t0 = time.perf_counter()
     send_fn(n_sends)
     send_seconds = time.perf_counter() - t0
@@ -79,7 +107,7 @@ def _throughput_row(n_hosts: int, join_fn, send_fn, n_sends: int) -> dict:
     }
 
 
-def sweep_inter(populations, n_ases: int = 100, n_sends: int = 500,
+def sweep_inter(populations, n_ases: int = 100, n_sends: int = 2000,
                 seed: int = 0) -> list:
     rows = []
     for n_hosts in populations:
@@ -98,7 +126,8 @@ def sweep_inter(populations, n_ases: int = 100, n_sends: int = 500,
                         delivered, count))
 
         row = _throughput_row(n_hosts, net.join_random_hosts, send_many,
-                              n_sends)
+                              n_sends, settle_fn=net.flush_indexes,
+                              warm_fn=net.bgp.warm)
         rows.append(row)
         print("  inter {:>6} hosts: {:>7.1f} joins/s  {:>7.1f} sends/s  "
               "rss {:.0f} MiB".format(n_hosts, row["joins_per_sec"],
@@ -107,7 +136,7 @@ def sweep_inter(populations, n_ases: int = 100, n_sends: int = 500,
     return rows
 
 
-def sweep_intra(populations, n_routers: int = 67, n_sends: int = 500,
+def sweep_intra(populations, n_routers: int = 67, n_sends: int = 2000,
                 seed: int = 0) -> list:
     rows = []
     for n_hosts in populations:
@@ -125,7 +154,7 @@ def sweep_intra(populations, n_routers: int = 67, n_sends: int = 500,
                         delivered, count))
 
         row = _throughput_row(n_hosts, net.join_random_hosts, send_many,
-                              n_sends)
+                              n_sends, settle_fn=net.flush_indexes)
         rows.append(row)
         print("  intra {:>6} hosts: {:>7.1f} joins/s  {:>7.1f} sends/s  "
               "rss {:.0f} MiB".format(n_hosts, row["joins_per_sec"],
@@ -173,6 +202,39 @@ def sweep_workload(multipliers, scenario_name: str = "steady-churn",
     return rows
 
 
+def check_scaling_cliff(rows: list, section: str,
+                        floor: float = CLIFF_FLOOR,
+                        metrics=("joins_per_sec", "sends_per_sec")) -> None:
+    """Fail unless throughput stays roughly flat across the sweep.
+
+    Compares the largest population's rate for each metric against the
+    smallest population's; a ratio below ``floor`` is the 10k-host
+    cliff this harness exists to keep dead.  Raises ``ValueError``.
+
+    Callers gate intradomain *sends only*: intradomain join lookups pay
+    an intrinsically growing pointer-hop count (greedy routing over
+    successor pointers with a bounded pointer cache — the Fig 6a
+    stretch-vs-cache-size tradeoff), so join throughput there declines
+    with ring size by protocol design, not by implementation regression.
+    """
+    if len(rows) < 2:
+        return
+    first, last = rows[0], rows[-1]
+    for metric in metrics:
+        if not first[metric]:
+            continue
+        ratio = last[metric] / first[metric]
+        if ratio < floor:
+            raise ValueError(
+                "scaling cliff in {}: {} fell to {:.2f}x between {} and "
+                "{} hosts (floor {:.2f}x)".format(
+                    section, metric, ratio, first["hosts"], last["hosts"],
+                    floor))
+        print("  cliff check {} {}: {:.2f}x of the {}-host rate (floor "
+              "{:.2f}x)".format(section, metric, ratio, first["hosts"],
+                                floor))
+
+
 def validate(data: dict) -> None:
     """Raise ``ValueError`` unless ``data`` has the required shape."""
     for key in REQUIRED_TOP_KEYS:
@@ -200,12 +262,19 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="small populations for CI smoke runs")
+    parser.add_argument("--extended", action="store_true",
+                        help="opt-in 25k-host interdomain sweep")
+    parser.add_argument("--cliff-floor", type=float, default=CLIFF_FLOOR,
+                        help="minimum largest/smallest throughput ratio "
+                             "(0 disables the gate; default %(default)s)")
     parser.add_argument("--out", default=None,
                         help="output path (default: repo-root "
                              "BENCH_scaling.json)")
     args = parser.parse_args(argv)
 
-    inter_pops = QUICK_POPULATIONS if args.quick else INTER_POPULATIONS
+    inter_pops = (QUICK_POPULATIONS if args.quick
+                  else EXTENDED_INTER_POPULATIONS if args.extended
+                  else INTER_POPULATIONS)
     intra_pops = QUICK_POPULATIONS if args.quick else INTRA_POPULATIONS
     out_path = args.out or os.path.join(os.path.dirname(__file__), "..",
                                         "BENCH_scaling.json")
@@ -219,6 +288,11 @@ def main(argv=None) -> int:
     intra_rows = sweep_intra(intra_pops)
     print("workload sweep (rate multipliers {}):".format(workload_mults))
     workload_rows = sweep_workload(workload_mults)
+
+    if args.cliff_floor > 0:
+        check_scaling_cliff(inter_rows, "interdomain", args.cliff_floor)
+        check_scaling_cliff(intra_rows, "intradomain", args.cliff_floor,
+                            metrics=("sends_per_sec",))
 
     data = {
         "generated_unix": int(time.time()),

@@ -17,7 +17,6 @@ single hottest path of interdomain joins; see ``repro.util.perf``'s
 
 from __future__ import annotations
 
-import bisect
 import itertools
 from bisect import insort
 from dataclasses import dataclass, field
@@ -29,7 +28,7 @@ from repro.intra.pointercache import PointerCache
 from repro.obs import trace
 from repro.util import perf
 from repro.util.bloom import BloomFilter
-from repro.util.ringmap import SortedRingMap
+from repro.util.ringmap import ColumnarRingIndex
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.inter.network import InterDomainNetwork
@@ -73,13 +72,17 @@ class RoflAS:
         self.subtree_bloom = BloomFilter(n_bits=bloom_bits, n_hashes=4)
 
         # -- incremental candidate index state (see module docstring) --
-        self._index = SortedRingMap(space)
+        self._index = ColumnarRingIndex(space)
         self._seq = itertools.count()
         self._owner_seq: Dict[int, int] = {}
         self._iv_hosted: Dict[int, InterVirtualNode] = {}
         self._contrib: Dict[int, tuple] = {}    # vn.id.value -> (seq, [key values])
         self._dirty_owners: set = set()
         self._dirty_all = True
+        #: Monotonic flush-epoch counter: one increment per index flush
+        #: that actually re-diffed or rebuilt state.  Mark-dirty storms
+        #: between two lookups all land in the same epoch.
+        self.flush_epoch = 0
 
     # -- hosting -----------------------------------------------------------------
 
@@ -115,23 +118,25 @@ class RoflAS:
             self._dirty_all = True
             self._dirty_owners.clear()
         elif not self._dirty_all:
+            perf.counter("asnode.index.marks")
             self._dirty_owners.add(vn.id.value)
 
-    def _entry_for(self, key: FlatId) -> _Entry:
-        entry = self._index.get(key.value)
+    def _entry_for(self, key_iv: int) -> _Entry:
+        entry = self._index.get(key_iv)
         if entry is None:
             entry = _Entry()
-            self._index.insert(key, entry)
+            self._index.set(key_iv, entry)
         return entry
 
     def _add_contrib(self, vn: InterVirtualNode) -> None:
         iv = vn.id.value
         seq = self._owner_seq[iv]
         keys = [iv]
-        self._entry_for(vn.id).vn = vn
+        self._entry_for(iv).vn = vn
         for cand_seq, ptr in enumerate(vn.candidate_pointers()):
-            insort(self._entry_for(ptr.dest_id).ptrs, (seq, cand_seq, ptr))
-            keys.append(ptr.dest_id.value)
+            dest_iv = ptr.dest_id.value
+            insort(self._entry_for(dest_iv).ptrs, (seq, cand_seq, ptr))
+            keys.append(dest_iv)
         self._contrib[iv] = (seq, keys)
 
     def _remove_contrib(self, owner_iv: int) -> None:
@@ -150,28 +155,41 @@ class RoflAS:
             if entry.ptrs:
                 entry.ptrs = [t for t in entry.ptrs if t[0] != seq]
             if entry.vn is None and not entry.ptrs:
-                index.remove(key_iv)
+                index.delete(key_iv)
 
     def _flush_index(self) -> None:
         if self._dirty_all:
-            perf.counter("asnode.index.rebuild")
-            self._index = SortedRingMap(self.space)
-            self._contrib = {}
-            self._seq = itertools.count()
-            self._owner_seq = {vn.id.value: next(self._seq)
-                               for vn in self.hosted.values()}
-            for vn in self.hosted.values():
-                self._add_contrib(vn)
-            self._dirty_all = False
-            self._dirty_owners.clear()
-        elif self._dirty_owners:
-            perf.counter("asnode.index.refresh", len(self._dirty_owners))
-            for owner_iv in self._dirty_owners:
-                self._remove_contrib(owner_iv)
-                vn = self._iv_hosted.get(owner_iv)
-                if vn is not None:
+            with perf.timed("asnode.index.flush"):
+                perf.counter("asnode.index.rebuild")
+                self.flush_epoch += 1
+                self._index = ColumnarRingIndex(self.space)
+                self._contrib = {}
+                self._seq = itertools.count()
+                self._owner_seq = {vn.id.value: next(self._seq)
+                                   for vn in self.hosted.values()}
+                for vn in self.hosted.values():
                     self._add_contrib(vn)
-            self._dirty_owners.clear()
+                self._dirty_all = False
+                self._dirty_owners.clear()
+        elif self._dirty_owners:
+            with perf.timed("asnode.index.flush"):
+                perf.counter("asnode.index.refresh.flushes")
+                perf.counter("asnode.index.refresh.owners",
+                             len(self._dirty_owners))
+                self.flush_epoch += 1
+                for owner_iv in self._dirty_owners:
+                    self._remove_contrib(owner_iv)
+                    vn = self._iv_hosted.get(owner_iv)
+                    if vn is not None:
+                        self._add_contrib(vn)
+                self._dirty_owners.clear()
+
+    def flush_index(self) -> None:
+        """Apply any pending index maintenance now instead of lazily on
+        the next lookup — benchmarks call this between their join and
+        send phases so deferred flush storms are charged to the phase
+        that caused them."""
+        self._flush_index()
 
     @staticmethod
     def _vn_in_ring(vn: InterVirtualNode, scope: Optional[Hashable]) -> bool:
@@ -196,17 +214,17 @@ class RoflAS:
         """
         self._flush_index()
         index = self._index
-        ivalues = index.key_values()
+        ivalues, entries = index.columns()
         n = len(ivalues)
         best: Optional[ASBestMatch] = None
         if n:
-            payloads = index.payloads()
             dest_iv = dest.value
             mask = self.space.mask
-            start = (bisect.bisect_right(ivalues, dest_iv) - 1) % n
+            start = (index.rank_right(dest_iv) - 1) % n
             for offset in range(min(n, max_scan)):
-                iv = ivalues[(start - offset) % n]
-                entry = payloads[iv]
+                position = (start - offset) % n
+                iv = ivalues[position]
+                entry = entries[position]
                 vn = entry.vn
                 if vn is not None and self._vn_in_ring(vn, scope):
                     best = ASBestMatch(vn.id, None, vn, (dest_iv - iv) & mask)

@@ -31,6 +31,7 @@ from repro.inter import routing
 from repro.inter.pointers import ASPointer, InterVirtualNode
 from repro.inter.policy import JoinStrategy
 from repro.topology.hosts import PlannedHost
+from repro.util import perf
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.inter.network import InterDomainNetwork
@@ -87,12 +88,14 @@ def join_inter(net: "InterDomainNetwork", host: PlannedHost,
     if n_fingers is None:
         n_fingers = 0 if strategy is JoinStrategy.EPHEMERAL else net.n_fingers
 
-    with net.stats.operation("join", host=host.name,
-                             strategy=strategy.value) as op:
+    with perf.timed("inter.join"), \
+            net.stats.operation("join", host=host.name,
+                                strategy=strategy.value) as op:
         net.ases[home].host(vn)
         net.id_owner_index[vn.id] = vn
-        for level in chain:
-            _join_level(net, vn, level)
+        with perf.timed("inter.join.levels"):
+            for level in chain:
+                _join_level(net, vn, level)
         _update_blooms(net, vn)
         if n_fingers:
             from repro.inter.fingers import acquire_fingers

@@ -26,6 +26,7 @@ from typing import Hashable, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.idspace.identifier import FlatId
 from repro.inter.pointers import ASPointer, InterVirtualNode
+from repro.util import perf
 from repro.util.rng import derive_rng
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -54,13 +55,12 @@ def slot_arc(vn_id: FlatId, row: int, digit: int,
 
 def up_links_between(net: "InterDomainNetwork", src: Hashable,
                      dst: Hashable) -> Tuple[int, int]:
-    """(number of up-links, total hops) of the policy path src → dst."""
-    path = net.policy.policy_path(src, dst)
-    if path is None:
-        return (1 << 30, 1 << 30)
-    ups = sum(1 for a, b in zip(path, path[1:])
-              if net.policy.step_type(a, b) == "up")
-    return ups, len(path) - 1
+    """(number of up-links, total hops) of the policy path src → dst.
+
+    Thin wrapper over the memoised :meth:`PolicyView.path_profile`, which
+    is what the selection loop below hits once per sampled candidate.
+    """
+    return net.policy.path_profile(src, dst)
 
 
 def lowest_containing_level(net: "InterDomainNetwork", vn: InterVirtualNode,
@@ -84,6 +84,12 @@ def acquire_fingers(net: "InterDomainNetwork", vn: InterVirtualNode,
     """Build ``vn``'s finger table; returns the message cost charged."""
     if n_fingers <= 0:
         return 0
+    with perf.timed("inter.join.fingers"):
+        return _acquire_fingers(net, vn, n_fingers, base_bits)
+
+
+def _acquire_fingers(net: "InterDomainNetwork", vn: InterVirtualNode,
+                     n_fingers: int, base_bits: int) -> int:
     rng = derive_rng(net.seed, "fingers", vn.id.value)
     fingers: List[ASPointer] = []
     charged = 0

@@ -20,7 +20,7 @@ from repro.inter.pointers import ASPointer, InterVirtualNode
 from repro.inter.policy import JoinStrategy, PolicyView
 from repro.sim.stats import PathResult, StatsCollector
 from repro.topology.asgraph import ASGraph
-from repro.topology.hosts import HostPlan, PlannedHost
+from repro.topology.hosts import HostPlan, HostTable, PlannedHost
 from repro.util.ringmap import SortedRingMap
 from repro.util.rng import derive_rng
 
@@ -70,7 +70,7 @@ class InterDomainNetwork:
         self.rings: Dict[Hashable, SortedRingMap] = {}
         #: Oracle over every joined identifier.
         self.id_owner_index: Dict[FlatId, InterVirtualNode] = {}
-        self.hosts: Dict[str, InterVirtualNode] = {}
+        self.hosts: HostTable = HostTable()
         self.host_records: Dict[str, PlannedHost] = {}
 
         bearers = [asn for asn in asg.ases() if asg.hosts(asn) > 0]
@@ -156,11 +156,22 @@ class InterDomainNetwork:
         )
 
     def random_host_pair(self) -> Tuple[str, str]:
-        names = list(self.hosts)
+        names = self.hosts.names
         if len(names) < 2:
             raise ValueError("need at least two joined hosts")
         a, b = self._rng.sample(names, 2)
         return a, b
+
+    def flush_indexes(self) -> None:
+        """Flush every AS's pending candidate-index maintenance now.
+
+        Index refresh is normally deferred to the next lookup; a join
+        storm therefore dumps its flush work onto the first packets sent
+        afterwards.  Benchmarks call this at a phase boundary so each
+        phase's measurement covers the maintenance it caused.
+        """
+        for node in self.ases.values():
+            node.flush_index()
 
     # -- liveness & pointer validation ----------------------------------------------
 
@@ -224,13 +235,17 @@ class InterDomainNetwork:
                     self._repair_gap(vn, level)
 
             # Everyone else drops pointers naming dead IDs (LSA-driven).
+            # One mark_dirty per VN however many dead targets it held, so
+            # the next flush re-diffs each touched VN exactly once.
             for other in self.ases.values():
                 other.cache.invalidate_where(
                     lambda p: p.dest_id in dead_ids or asn in p.as_route)
                 for hosted in other.hosted.values():
-                    for dead in list(dead_ids):
-                        if hosted.drop_dead_target(dead):
-                            other.mark_dirty(hosted)
+                    dropped = 0
+                    for dead in dead_ids:
+                        dropped += hosted.drop_dead_target(dead)
+                    if dropped:
+                        other.mark_dirty(hosted)
             return op["messages"]
 
     def _repair_gap(self, dead_vn: InterVirtualNode, level: Hashable) -> None:

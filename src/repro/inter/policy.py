@@ -74,6 +74,8 @@ class PolicyView:
         self._subtree_cache: Dict[Hashable, Set[Hashable]] = {}
         self._policy_path_cache: Dict[Tuple, Optional[Tuple[Hashable, ...]]] = {}
         self._step_cache: Dict[Tuple[Hashable, Hashable], Optional[str]] = {}
+        self._profile_cache: Dict[Tuple[Hashable, Hashable],
+                                  Tuple[int, int]] = {}
         root = self.root_level()
         if root is None:
             raise ValueError("AS graph has no global root ring "
@@ -272,6 +274,32 @@ class PolicyView:
         path = self._policy_path_bfs(src, dst, scope, use_backup)
         self._policy_path_cache[key] = path
         return path
+
+    def path_profile(self, src: Hashable,
+                     dst: Hashable) -> Tuple[int, int]:
+        """``(up-links, total hops)`` of the unscoped policy path
+        ``src → dst``, memoised per ordered AS pair.
+
+        The proximity metric of the finger-selection machinery (Section
+        4.1): with ~N² AS pairs for a fixed topology the cache saturates
+        quickly, turning the per-candidate step-type walk into one dict
+        hit on the join hot path.  Unreachable pairs profile as a large
+        sentinel so ``min()`` never prefers them.
+        """
+        key = (src, dst)
+        cached = self._profile_cache.get(key)
+        if cached is not None:
+            return cached
+        path = self.policy_path(src, dst)
+        if path is None:
+            profile = (1 << 30, 1 << 30)
+        else:
+            step_type = self.step_type
+            ups = sum(1 for a, b in zip(path, path[1:])
+                      if step_type(a, b) == "up")
+            profile = (ups, len(path) - 1)
+        self._profile_cache[key] = profile
+        return profile
 
     def _allowed_peer_pairs(self, scope: Optional[Hashable]) -> Optional[Set[FrozenSet]]:
         """Which peer links a scoped path may cross.  Inside a real AS's

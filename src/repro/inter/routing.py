@@ -79,6 +79,13 @@ def route(
     if mode not in ("data", "lookup"):
         raise ValueError("unknown mode {!r}".format(mode))
     perf.counter("inter.fwd.packets")
+    with perf.timed("inter.route." + mode):
+        return _route(net, start_as, dest_id, mode, scope, category,
+                      use_cache, max_pointer_hops)
+
+
+def _route(net, start_as, dest_id, mode, scope, category, use_cache,
+           max_pointer_hops):
     tr = trace.packet_span("inter.packet", start=str(start_as),
                            dest=dest_id.to_hex(), mode=mode,
                            scope=str(scope) if scope is not None

@@ -70,6 +70,12 @@ def route(
     if mode not in ("data", "lookup"):
         raise ValueError("unknown mode {!r}".format(mode))
     perf.counter("fwd.packets")
+    with perf.timed("intra.route." + mode):
+        return _route(net, start_router, dest_id, mode, category,
+                      max_pointer_hops)
+
+
+def _route(net, start_router, dest_id, mode, category, max_pointer_hops):
     tr = trace.packet_span("intra.packet", start=start_router,
                            dest=dest_id.to_hex(),
                            mode=mode) if trace.ENABLED else None

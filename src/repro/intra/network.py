@@ -21,7 +21,7 @@ from repro.linkstate.lsdb import LinkStateMap
 from repro.linkstate.spf import PathCache
 from repro.sim.stats import PathResult, StatsCollector
 from repro.topology.graph import RouterTopology
-from repro.topology.hosts import HostPlan, PlannedHost
+from repro.topology.hosts import HostPlan, HostTable, PlannedHost
 from repro.topology.isp import TCAM_ENTRIES
 from repro.util.rng import derive_rng
 
@@ -73,7 +73,7 @@ class IntraDomainNetwork:
         }
         #: Oracle index over all live virtual nodes (verification only).
         self.vn_index: Dict[FlatId, VirtualNode] = {}
-        self.hosts: Dict[str, VirtualNode] = {}
+        self.hosts: HostTable = HostTable()
         self.host_records: Dict[str, PlannedHost] = {}
         self._plan = HostPlan(
             attachment_points=topology.edge_routers() or topology.routers,
@@ -126,11 +126,22 @@ class IntraDomainNetwork:
         )
 
     def random_host_pair(self) -> Tuple[str, str]:
-        names = list(self.hosts)
+        names = self.hosts.names
         if len(names) < 2:
             raise ValueError("need at least two joined hosts")
         a, b = self._rng.sample(names, 2)
         return a, b
+
+    def flush_indexes(self) -> None:
+        """Flush every router's pending candidate-index maintenance now.
+
+        Index refresh is normally deferred to the next lookup; a join
+        storm therefore dumps its flush work onto the first packets sent
+        afterwards.  Benchmarks call this at a phase boundary so each
+        phase's measurement covers the maintenance it caused.
+        """
+        for router in self.routers.values():
+            router.flush_index()
 
     # -- pointer validation (used by the forwarding engine) ----------------------------
 

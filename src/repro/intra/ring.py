@@ -27,6 +27,7 @@ from repro.idspace.identifier import FlatId
 from repro.intra import forwarding
 from repro.intra.virtualnode import Pointer, VirtualNode
 from repro.topology.hosts import PlannedHost
+from repro.util import perf
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.intra.network import IntraDomainNetwork
@@ -85,7 +86,8 @@ def join_with_id(net: "IntraDomainNetwork", flat_id: FlatId,
     vn = VirtualNode(id=flat_id, router=router_name, host_name=name,
                      ephemeral=ephemeral)
 
-    with net.stats.operation("join", host=name) as op:
+    with perf.timed("intra.join"), \
+            net.stats.operation("join", host=name) as op:
         if ephemeral:
             latency = _join_ephemeral(net, router, vn)
         else:

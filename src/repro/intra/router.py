@@ -26,7 +26,6 @@ big hammer (full rebuild) for bulk mutations.
 
 from __future__ import annotations
 
-import bisect
 import itertools
 from bisect import insort
 from dataclasses import dataclass, field
@@ -37,7 +36,7 @@ from repro.intra.pointercache import PointerCache
 from repro.intra.virtualnode import Pointer, VirtualNode
 from repro.obs import trace
 from repro.util import perf
-from repro.util.ringmap import SortedRingMap
+from repro.util.ringmap import ColumnarRingIndex
 
 
 @dataclass
@@ -83,7 +82,7 @@ class RoflRouter:
         self.vn_table[self.router_id] = self.default_vn
 
         # -- incremental candidate index state --
-        self._index = SortedRingMap(space)
+        self._index = ColumnarRingIndex(space)
         self._seq = itertools.count()
         self._owner_seq: Dict[int, int] = {}    # vn.id.value -> registration seq
         self._iv_table: Dict[int, VirtualNode] = {}  # vn.id.value -> resident VN
@@ -93,6 +92,8 @@ class RoflRouter:
 
         self._iv_table[self.router_id.value] = self.default_vn
         self._owner_seq[self.router_id.value] = next(self._seq)
+        #: Monotonic flush-epoch counter (see :class:`RoflAS.flush_epoch`).
+        self.flush_epoch = 0
 
     # -- virtual-node management ------------------------------------------------
 
@@ -139,13 +140,14 @@ class RoflRouter:
             self._dirty_all = True
             self._dirty_owners.clear()
         elif not self._dirty_all:
+            perf.counter("router.index.marks")
             self._dirty_owners.add(vn.id.value)
 
-    def _entry_for(self, key: FlatId) -> _Candidate:
-        cand = self._index.get(key.value)
+    def _entry_for(self, key_iv: int) -> _Candidate:
+        cand = self._index.get(key_iv)
         if cand is None:
             cand = _Candidate()
-            self._index.insert(key, cand)
+            self._index.set(key_iv, cand)
         return cand
 
     def _add_contrib(self, vn: VirtualNode) -> None:
@@ -153,18 +155,20 @@ class RoflRouter:
         iv = vn.id.value
         seq = self._owner_seq[iv]
         keys = [iv]
-        self._entry_for(vn.id).vn = vn
+        self._entry_for(iv).vn = vn
         if not vn.ephemeral:
             cand_seq = 0
             for ptr in vn.successors:
-                insort(self._entry_for(ptr.dest_id).ptrs,
+                dest_iv = ptr.dest_id.value
+                insort(self._entry_for(dest_iv).ptrs,
                        (seq, cand_seq, ptr, False))
-                keys.append(ptr.dest_id.value)
+                keys.append(dest_iv)
                 cand_seq += 1
             for eph_id, ptr in vn.ephemeral_children.items():
-                insort(self._entry_for(eph_id).ptrs,
+                eph_iv = eph_id.value
+                insort(self._entry_for(eph_iv).ptrs,
                        (seq, cand_seq, ptr, True))
-                keys.append(eph_id.value)
+                keys.append(eph_iv)
                 cand_seq += 1
         self._contrib[iv] = (seq, keys)
 
@@ -185,28 +189,41 @@ class RoflRouter:
             if cand.ptrs:
                 cand.ptrs = [t for t in cand.ptrs if t[0] != seq]
             if cand.vn is None and not cand.ptrs:
-                index.remove(key_iv)
+                index.delete(key_iv)
 
     def _flush_index(self) -> None:
         if self._dirty_all:
-            perf.counter("router.index.rebuild")
-            self._index = SortedRingMap(self.space)
-            self._contrib = {}
-            self._seq = itertools.count()
-            self._owner_seq = {vn.id.value: next(self._seq)
-                               for vn in self.vn_table.values()}
-            for vn in self.vn_table.values():
-                self._add_contrib(vn)
-            self._dirty_all = False
-            self._dirty_owners.clear()
-        elif self._dirty_owners:
-            perf.counter("router.index.refresh", len(self._dirty_owners))
-            for owner_iv in self._dirty_owners:
-                self._remove_contrib(owner_iv)
-                vn = self._iv_table.get(owner_iv)
-                if vn is not None:
+            with perf.timed("router.index.flush"):
+                perf.counter("router.index.rebuild")
+                self.flush_epoch += 1
+                self._index = ColumnarRingIndex(self.space)
+                self._contrib = {}
+                self._seq = itertools.count()
+                self._owner_seq = {vn.id.value: next(self._seq)
+                                   for vn in self.vn_table.values()}
+                for vn in self.vn_table.values():
                     self._add_contrib(vn)
-            self._dirty_owners.clear()
+                self._dirty_all = False
+                self._dirty_owners.clear()
+        elif self._dirty_owners:
+            with perf.timed("router.index.flush"):
+                perf.counter("router.index.refresh.flushes")
+                perf.counter("router.index.refresh.owners",
+                             len(self._dirty_owners))
+                self.flush_epoch += 1
+                for owner_iv in self._dirty_owners:
+                    self._remove_contrib(owner_iv)
+                    vn = self._iv_table.get(owner_iv)
+                    if vn is not None:
+                        self._add_contrib(vn)
+                self._dirty_owners.clear()
+
+    def flush_index(self) -> None:
+        """Apply any pending index maintenance now instead of lazily on
+        the next lookup — benchmarks call this between their join and
+        send phases so deferred flush storms are charged to the phase
+        that caused them."""
+        self._flush_index()
 
     # -- Algorithm 2 lookups -------------------------------------------------------
 
@@ -221,17 +238,17 @@ class RoflRouter:
         """
         self._flush_index()
         index = self._index
-        ivalues = index.key_values()
+        ivalues, candidates = index.columns()
         n = len(ivalues)
         if not n:
             return None
-        payloads = index.payloads()
         dest_iv = dest.value
         mask = self.space.mask
-        start = (bisect.bisect_right(ivalues, dest_iv) - 1) % n
+        start = (index.rank_right(dest_iv) - 1) % n
         for offset in range(n):
-            iv = ivalues[(start - offset) % n]
-            cand = payloads[iv]
+            position = (start - offset) % n
+            iv = ivalues[position]
+            cand = candidates[position]
             vn = cand.vn
             if vn is not None and (include_ephemeral
                                    or not (vn.ephemeral or vn.joining)):
@@ -308,22 +325,26 @@ class RoflRouter:
         """Remove a dead pointer wherever this router holds it."""
         self.cache.invalidate_id(pointer.dest_id)
         for vn in self.vn_table.values():
-            if vn.drop_successor(pointer.dest_id):
-                self.mark_dirty(vn)
+            changed = vn.drop_successor(pointer.dest_id)
             if pointer.dest_id in vn.ephemeral_children:
                 del vn.ephemeral_children[pointer.dest_id]
+                changed = True
+            if changed:
                 self.mark_dirty(vn)
 
     def reroute_pointer(self, old: Pointer, new: Pointer) -> None:
         """Swap in a repaired source route for an existing pointer."""
         self.cache.replace(new)
         for vn in self.vn_table.values():
+            changed = False
             for i, ptr in enumerate(vn.successors):
                 if ptr is old or ptr.dest_id == new.dest_id:
                     vn.successors[i] = new
-                    self.mark_dirty(vn)
+                    changed = True
             if new.dest_id in vn.ephemeral_children:
                 vn.ephemeral_children[new.dest_id] = new
+                changed = True
+            if changed:
                 self.mark_dirty(vn)
             if vn.predecessor is not None and vn.predecessor.dest_id == new.dest_id:
                 vn.predecessor = new

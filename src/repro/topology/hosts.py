@@ -34,6 +34,66 @@ class PlannedHost:
         return self.key_pair.flat_id
 
 
+class HostTable(dict):
+    """A ``name → virtual node`` dict with an incrementally maintained
+    insertion-order name list.
+
+    ``names`` is kept exactly equal to ``list(table)`` at all times, so
+    hot paths that sample random live hosts (``random_host_pair``, every
+    open-loop traffic generator) can draw from a ready list instead of
+    materialising all N keys per packet — the O(N)-per-send term behind
+    the 10k-host interdomain throughput cliff.  Keeping the *same* order
+    as ``list(dict)`` (not swap-pop) preserves byte-for-byte same-seed
+    replay: identical population, identical ``rng.sample`` draws.
+    Removal is O(N) but only churn/failure paths remove hosts.
+    """
+
+    __slots__ = ("names",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.names: List[str] = []
+
+    def __setitem__(self, key, value) -> None:
+        if key not in self:
+            self.names.append(key)
+        super().__setitem__(key, value)
+
+    def __delitem__(self, key) -> None:
+        super().__delitem__(key)
+        self.names.remove(key)
+
+    def pop(self, key, *default):
+        present = key in self
+        value = super().pop(key, *default)
+        if present:
+            self.names.remove(key)
+        return value
+
+    def popitem(self):
+        key, value = super().popitem()
+        self.names.remove(key)
+        return key, value
+
+    def clear(self) -> None:
+        super().clear()
+        self.names.clear()
+
+    def setdefault(self, key, default=None):
+        if key not in self:
+            self[key] = default
+            return default
+        return self[key]
+
+    def update(self, *args, **kwargs) -> None:
+        for mapping in args:
+            items = mapping.items() if hasattr(mapping, "items") else mapping
+            for key, value in items:
+                self[key] = value
+        for key, value in kwargs.items():
+            self[key] = value
+
+
 class HostPlan:
     """Deterministic host population for one experiment.
 

@@ -27,9 +27,22 @@ allocation altogether.
 from __future__ import annotations
 
 import bisect
+import os
+from array import array
 from typing import Any, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.idspace.identifier import FlatId, RingSpace
+
+try:  # optional accelerator backend, never required
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - depends on environment
+    _numpy = None
+
+#: Feature flag for the numpy key-column backend of
+#: :class:`ColumnarRingIndex` (``REPRO_NUMPY=1``).  Only engages for ring
+#: spaces whose keys fit an unsigned 64-bit word; silently ignored when
+#: numpy is not installed.
+NUMPY_FLAG_ENV = "REPRO_NUMPY"
 
 
 class RingKeysView(Sequence):
@@ -230,3 +243,256 @@ class SortedRingMap:
 
     def __repr__(self) -> str:
         return "SortedRingMap(n={})".format(len(self._keys))
+
+
+#: When the staged batch is at least ``1/REBUILD_FRACTION`` of the synced
+#: key column, the sync rebuilds the whole column in one C-speed sort
+#: instead of applying per-key inserts/deletes.
+REBUILD_FRACTION = 8
+
+
+def _pick_backend(space: RingSpace, backend: Optional[str]) -> str:
+    """Resolve the key-column storage for a :class:`ColumnarRingIndex`.
+
+    ``array`` (flat unsigned 64-bit C array) needs every key to fit one
+    word; wider ring spaces (the 128-bit default) fall back to a sorted
+    plain-int list, which bisect handles identically.  ``numpy`` is the
+    opt-in vectorised variant behind :data:`NUMPY_FLAG_ENV`.
+    """
+    if backend is None:
+        if (_numpy is not None and space.bits <= 64
+                and os.environ.get(NUMPY_FLAG_ENV, "") not in ("", "0")):
+            return "numpy"
+        return "array" if space.bits <= 64 else "list"
+    if backend not in ("list", "array", "numpy"):
+        raise ValueError("unknown backend {!r}".format(backend))
+    if backend in ("array", "numpy") and space.bits > 64:
+        raise ValueError("backend {!r} needs keys <= 64 bits".format(backend))
+    if backend == "numpy" and _numpy is None:
+        raise ValueError("numpy backend requested but numpy is unavailable")
+    return backend
+
+
+class ColumnarRingIndex:
+    """Flat-array circular candidate index over raw ``int`` keys.
+
+    The columnar counterpart of :class:`SortedRingMap` for hot paths that
+    already live in the int domain (router/AS candidate indexes): one
+    sorted flat key column plus a lock-step payload column, so greedy
+    scans walk two parallel arrays with zero per-candidate hashing.
+
+    Mutations are **dict-immediate, column-deferred**: ``set``/``delete``
+    update the authoritative payload dict at once (reads through ``get``
+    are never stale) and only *stage* the key change.  The sorted columns
+    are synced lazily at the next positional query, applying the whole
+    staged batch in one pass — per-key C ``memmove`` for small batches, a
+    single C-speed sort rebuild for storms.  This is what turns a
+    mark-dirty storm (thousands of join-time mutations) into one cheap
+    epoch flush instead of thousands of O(n) list inserts.
+
+    Key column backends (``backend=`` or auto): ``"list"`` (sorted plain
+    ints, any width), ``"array"`` (``array('Q')``, spaces ≤ 64 bits) and
+    ``"numpy"`` (``uint64`` + ``searchsorted``, behind ``REPRO_NUMPY=1``).
+    """
+
+    __slots__ = ("space", "backend", "_payloads", "_keys", "_vals",
+                 "_pending_add", "_pending_del")
+
+    def __init__(self, space: RingSpace, backend: Optional[str] = None):
+        self.space = space
+        self.backend = _pick_backend(space, backend)
+        self._payloads: dict = {}          # int key -> payload (authoritative)
+        self._keys = self._empty_column()  # sorted key column (synced view)
+        self._vals: List[Any] = []         # lock-step payload column
+        self._pending_add: set = set()
+        self._pending_del: set = set()
+
+    def _empty_column(self):
+        if self.backend == "array":
+            return array("Q")
+        if self.backend == "numpy":
+            return _numpy.empty(0, dtype=_numpy.uint64)
+        return []
+
+    # -- dict-immediate mutation ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._payloads)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._payloads
+
+    def get(self, key: int, default: Any = None) -> Any:
+        return self._payloads.get(key, default)
+
+    def __getitem__(self, key: int) -> Any:
+        return self._payloads[key]
+
+    def set(self, key: int, payload: Any) -> None:
+        """Insert or replace the payload stored at ``key``."""
+        payloads = self._payloads
+        if key in payloads:
+            payloads[key] = payload
+            if key not in self._pending_add:
+                # Key already synced: patch the payload column in place.
+                index = self._bisect_left(key)
+                self._vals[index] = payload
+            return
+        payloads[key] = payload
+        if key in self._pending_del:
+            # Deleted-then-reinserted within one epoch: the key is still
+            # in the columns; only its payload cell needs patching.
+            self._pending_del.discard(key)
+            self._vals[self._bisect_left(key)] = payload
+        else:
+            self._pending_add.add(key)
+
+    def delete(self, key: int) -> Any:
+        """Remove ``key``; raises ``KeyError`` if absent."""
+        payload = self._payloads.pop(key)  # KeyError propagates
+        if key in self._pending_add:
+            self._pending_add.discard(key)
+        else:
+            self._pending_del.add(key)
+        return payload
+
+    def discard(self, key: int) -> None:
+        if key in self._payloads:
+            self.delete(key)
+
+    # -- the epoch sync ---------------------------------------------------------
+
+    def pending(self) -> int:
+        """Staged key mutations awaiting the next column sync."""
+        return len(self._pending_add) + len(self._pending_del)
+
+    def _bisect_left(self, key: int) -> int:
+        if self.backend == "numpy":
+            return int(_numpy.searchsorted(self._keys, key, side="left"))
+        return bisect.bisect_left(self._keys, key)
+
+    def _sync(self) -> None:
+        adds, dels = self._pending_add, self._pending_del
+        if not adds and not dels:
+            return
+        payloads = self._payloads
+        if (self.backend == "numpy"
+                or (len(adds) + len(dels)) * REBUILD_FRACTION
+                >= len(self._keys)):
+            # Storm (or numpy, whose inserts are whole-array copies
+            # regardless): one C-speed sort over the authoritative dict.
+            ordered = sorted(payloads)
+            if self.backend == "array":
+                self._keys = array("Q", ordered)
+            elif self.backend == "numpy":
+                self._keys = _numpy.fromiter(ordered, dtype=_numpy.uint64,
+                                             count=len(ordered))
+            else:
+                self._keys = ordered
+            self._vals = [payloads[key] for key in ordered]
+        else:
+            keys, vals = self._keys, self._vals
+            for key in sorted(dels, reverse=True):
+                position = bisect.bisect_left(keys, key)
+                del keys[position]
+                del vals[position]
+            for key in sorted(adds):
+                position = bisect.bisect_left(keys, key)
+                keys.insert(position, key)
+                vals.insert(position, payloads[key])
+        adds.clear()
+        dels.clear()
+
+    # -- positional queries (int domain) ----------------------------------------
+
+    def columns(self) -> Tuple[Sequence[int], List[Any]]:
+        """The synced ``(sorted keys, lock-step payloads)`` columns.
+
+        Zero-copy: callers must not mutate, and must re-fetch after any
+        ``set``/``delete`` (the views go stale at the next sync).
+        """
+        self._sync()
+        return self._keys, self._vals
+
+    def key_values(self) -> Sequence[int]:
+        """The synced sorted key column, zero-copy.  Do not mutate."""
+        self._sync()
+        return self._keys
+
+    def rank_right(self, key: int) -> int:
+        """``bisect_right`` position of ``key`` in the synced column."""
+        self._sync()
+        if self.backend == "numpy":
+            return int(_numpy.searchsorted(self._keys, key, side="right"))
+        return bisect.bisect_right(self._keys, key)
+
+    def successor_value(self, key: int, strict: bool = True) -> Optional[int]:
+        """The next stored key clockwise from ``key`` (wrapping)."""
+        self._sync()
+        n = len(self._keys)
+        if not n:
+            return None
+        if strict:
+            index = self.rank_right(key)
+        else:
+            index = self._bisect_left(key)
+        return int(self._keys[index % n])
+
+    def predecessor_value(self, key: int, strict: bool = True) -> Optional[int]:
+        """The previous stored key counter-clockwise from ``key``."""
+        self._sync()
+        n = len(self._keys)
+        if not n:
+            return None
+        if strict:
+            index = self._bisect_left(key) - 1
+        else:
+            index = self.rank_right(key) - 1
+        return int(self._keys[index % n])
+
+    def closest_not_past_value(self, current: int, dest: int) -> Optional[int]:
+        """Greedy best match in the int domain (see
+        :meth:`SortedRingMap.closest_not_past`)."""
+        self._sync()
+        keys = self._keys
+        n = len(keys)
+        if not n:
+            return None
+        candidate = int(keys[(self.rank_right(dest) - 1) % n])
+        mask = self.space.mask
+        advanced = (candidate - current) & mask
+        if advanced and advanced <= ((dest - current) & mask):
+            return candidate
+        return None
+
+    def iter_predecessor_values(self, key: int) -> Iterator[int]:
+        """Yield stored keys counter-clockwise starting at ``key`` itself
+        (if stored) or its predecessor, wrapping once around the ring."""
+        self._sync()
+        keys = self._keys
+        n = len(keys)
+        if not n:
+            return
+        start = (self.rank_right(key) - 1) % n
+        for offset in range(n):
+            yield int(keys[(start - offset) % n])
+
+    def in_arc_values(self, low: int, high: int) -> List[int]:
+        """All stored keys on the clockwise arc ``[low, high]`` inclusive."""
+        self._sync()
+        keys = self._keys
+        if not len(keys):
+            return []
+        lo = self._bisect_left(low)
+        hi = self.rank_right(high)
+        if low <= high:
+            return [int(key) for key in keys[lo:hi]]
+        return [int(key) for key in keys[lo:]] + [int(key) for key in keys[:hi]]
+
+    def __iter__(self) -> Iterator[int]:
+        self._sync()
+        return iter(self._keys)
+
+    def __repr__(self) -> str:
+        return "ColumnarRingIndex(n={}, backend={}, pending={})".format(
+            len(self._payloads), self.backend, self.pending())

@@ -1,0 +1,202 @@
+"""ColumnarRingIndex: the flat-array candidate index behind the hot path.
+
+The contract under test is *observational equivalence* with
+:class:`SortedRingMap` — every circular query must answer identically
+under any interleaving of mutations and lookups, on every key-column
+backend — plus the dict-immediate / column-deferred staging semantics
+the epoch flush relies on.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.idspace.identifier import RingSpace
+from repro.util.ringmap import (ColumnarRingIndex, NUMPY_FLAG_ENV,
+                                SortedRingMap, _pick_backend)
+
+try:
+    import numpy  # noqa: F401
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - depends on environment
+    HAVE_NUMPY = False
+
+SPACE = RingSpace(bits=16)
+WIDE_SPACE = RingSpace(bits=128)
+MAX16 = (1 << 16) - 1
+
+BACKENDS = ["list", "array"] + (["numpy"] if HAVE_NUMPY else [])
+
+
+class TestBackendSelection:
+    def test_wide_space_falls_back_to_list(self):
+        assert ColumnarRingIndex(WIDE_SPACE).backend == "list"
+
+    def test_narrow_space_uses_flat_array(self):
+        assert ColumnarRingIndex(SPACE).backend == "array"
+
+    def test_explicit_wide_array_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnarRingIndex(WIDE_SPACE, backend="array")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnarRingIndex(SPACE, backend="btree")
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+    def test_numpy_behind_feature_flag(self, monkeypatch):
+        monkeypatch.delenv(NUMPY_FLAG_ENV, raising=False)
+        assert _pick_backend(SPACE, None) == "array"
+        monkeypatch.setenv(NUMPY_FLAG_ENV, "1")
+        assert _pick_backend(SPACE, None) == "numpy"
+        assert _pick_backend(WIDE_SPACE, None) == "list"  # too wide
+        monkeypatch.setenv(NUMPY_FLAG_ENV, "0")
+        assert _pick_backend(SPACE, None) == "array"
+
+
+class TestStagingSemantics:
+    def test_reads_never_stale_while_pending(self):
+        index = ColumnarRingIndex(SPACE)
+        index.set(10, "a")
+        assert index.pending() == 1
+        assert index.get(10) == "a" and 10 in index and len(index) == 1
+        index.delete(10)
+        assert index.get(10) is None and 10 not in index and len(index) == 0
+
+    def test_add_then_delete_cancels_staging(self):
+        index = ColumnarRingIndex(SPACE)
+        index.set(10, "a")
+        index.delete(10)
+        assert index.pending() == 0
+        assert index.successor_value(0) is None
+
+    def test_delete_then_reinsert_within_one_epoch(self):
+        index = ColumnarRingIndex(SPACE)
+        index.set(10, "a")
+        index.key_values()  # sync
+        index.delete(10)
+        index.set(10, "b")
+        keys, vals = index.columns()
+        assert list(keys) == [10] and vals == ["b"]
+
+    def test_replace_patches_synced_column(self):
+        index = ColumnarRingIndex(SPACE)
+        index.set(10, "a")
+        index.set(20, "b")
+        index.columns()  # sync
+        index.set(10, "a2")
+        keys, vals = index.columns()
+        assert vals[list(keys).index(10)] == "a2"
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(KeyError):
+            ColumnarRingIndex(SPACE).delete(10)
+
+    def test_storm_and_incremental_sync_agree(self):
+        # Small batch → per-key insert path; big batch → sort rebuild.
+        incremental = ColumnarRingIndex(SPACE)
+        storm = ColumnarRingIndex(SPACE)
+        values = list(range(0, 4000, 7))
+        for v in values:
+            storm.set(v, v)
+        for v in values:
+            incremental.set(v, v)
+            incremental.key_values()  # sync after every key
+        assert list(storm.key_values()) == list(incremental.key_values())
+        assert storm.columns()[1] == incremental.columns()[1]
+
+
+ops_strategy = st.lists(
+    st.tuples(st.sampled_from(["set", "del", "sync"]),
+              st.integers(min_value=0, max_value=MAX16)),
+    max_size=60)
+probes_strategy = st.lists(st.integers(min_value=0, max_value=MAX16),
+                           min_size=1, max_size=8)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(max_examples=60, deadline=None)
+@given(ops=ops_strategy, probes=probes_strategy)
+def test_equivalent_to_sorted_ring_map(backend, ops, probes):
+    """Any mutation/lookup interleaving answers exactly like SortedRingMap."""
+    reference = SortedRingMap(SPACE)
+    index = ColumnarRingIndex(SPACE, backend=backend)
+    for op, v in ops:
+        if op == "set":
+            reference.insert(SPACE.make(v), "p{}".format(v))
+            index.set(v, "p{}".format(v))
+        elif op == "del":
+            reference.discard(v)
+            index.discard(v)
+        else:
+            # Interleaved query: forces a column sync mid-stream so both
+            # the incremental and the rebuild paths get exercised.
+            expected = reference.successor(v)
+            got = index.successor_value(v)
+            assert got == (expected.value if expected is not None else None)
+
+    assert len(index) == len(reference)
+    assert list(index.key_values()) == list(reference.key_values())
+    assert index.columns()[1] == [reference[v] for v in reference.key_values()]
+
+    def val(key):
+        return key.value if key is not None else None
+
+    for probe in probes:
+        assert (probe in index) == (probe in reference)
+        assert index.get(probe) == reference.get(probe)
+        for strict in (True, False):
+            assert index.successor_value(probe, strict=strict) == \
+                val(reference.successor(probe, strict=strict))
+            assert index.predecessor_value(probe, strict=strict) == \
+                val(reference.predecessor(probe, strict=strict))
+        assert list(index.iter_predecessor_values(probe)) == \
+            list(reference.iter_predecessor_values(probe))
+    for current, dest in zip(probes, reversed(probes)):
+        assert index.closest_not_past_value(current, dest) == \
+            reference.closest_not_past_value(current, dest)
+    low, high = probes[0], probes[-1]
+    assert index.in_arc_values(low, high) == \
+        [key.value for key in reference.in_arc(low, high)]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_wrapping_queries_match_reference(backend):
+    reference = SortedRingMap(SPACE)
+    index = ColumnarRingIndex(SPACE, backend=backend)
+    for v in (10, 20, 30, 60000):
+        reference.insert(SPACE.make(v), v)
+        index.set(v, v)
+    assert index.successor_value(60000) == 10
+    assert index.predecessor_value(10) == 60000
+    assert index.in_arc_values(50000, 15) == [60000, 10]
+    assert index.closest_not_past_value(0, 25) == 20
+    assert index.closest_not_past_value(20, 25) is None
+
+
+def test_steady_churn_replay_byte_for_byte():
+    """Same-seed steady-churn runs must serialise to identical bytes —
+    the columnar index may not perturb any tie-break or RNG draw."""
+    from repro.workload import builtin_scenario, run_scenario
+
+    a = run_scenario(builtin_scenario("steady-churn", seed=1))
+    b = run_scenario(builtin_scenario("steady-churn", seed=1))
+    dump_a = json.dumps(a.deterministic_view(), sort_keys=True)
+    dump_b = json.dumps(b.deterministic_view(), sort_keys=True)
+    assert dump_a == dump_b
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+def test_numpy_backend_via_env_flag_end_to_end(monkeypatch):
+    monkeypatch.setenv(NUMPY_FLAG_ENV, "1")
+    index = ColumnarRingIndex(SPACE)
+    assert index.backend == "numpy"
+    for v in (10, 20, 30):
+        index.set(v, "p{}".format(v))
+    assert index.successor_value(15) == 20
+    index.delete(20)
+    assert index.successor_value(15) == 30
+    assert os.environ[NUMPY_FLAG_ENV] == "1"

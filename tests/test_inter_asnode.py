@@ -130,6 +130,66 @@ class TestBestMatch:
         assert node.best_match(net, SPACE.make(300)).dest_id.value == 250
 
 
+class TestFlushCoalescing:
+    def test_repeated_marks_one_rediff_per_flush(self):
+        """A mark-dirty storm on one VN coalesces into a single re-diff."""
+        from repro.util import perf
+
+        node = RoflAS("AS-X", SPACE)
+        vn = make_vn(100)
+        vn.set_successor(None, ptr(200))
+        node.host(vn)
+        net = FakeNet()
+        node.best_match(net, SPACE.make(300))  # settle the initial rebuild
+        epoch0 = node.flush_epoch
+        flushes0 = perf.value("asnode.index.refresh.flushes")
+        owners0 = perf.value("asnode.index.refresh.owners")
+        for _ in range(5):
+            node.mark_dirty(vn)
+        node.best_match(net, SPACE.make(300))
+        assert node.flush_epoch == epoch0 + 1
+        assert perf.value("asnode.index.refresh.flushes") == flushes0 + 1
+        assert perf.value("asnode.index.refresh.owners") == owners0 + 1
+
+    def test_owners_counter_counts_distinct_vns(self):
+        from repro.util import perf
+
+        node = RoflAS("AS-X", SPACE)
+        vn_a, vn_b = make_vn(100), make_vn(5000)
+        node.host(vn_a)
+        node.host(vn_b)
+        net = FakeNet()
+        node.best_match(net, SPACE.make(300))
+        owners0 = perf.value("asnode.index.refresh.owners")
+        for _ in range(3):
+            node.mark_dirty(vn_a)
+            node.mark_dirty(vn_b)
+        node.best_match(net, SPACE.make(300))
+        assert perf.value("asnode.index.refresh.owners") == owners0 + 2
+
+    def test_dead_target_sweep_marks_each_vn_once(self):
+        """The fail-AS sweep pattern: many dead pointers on one VN cause
+        one mark (and so one re-diff), not one per dropped pointer."""
+        from repro.util import perf
+
+        node = RoflAS("AS-X", SPACE)
+        vn = make_vn(100)
+        vn.set_successor(None, ptr(200))
+        vn.fingers = [ptr(300, kind="finger"), ptr(400, kind="finger")]
+        node.host(vn)
+        net = FakeNet()
+        node.best_match(net, SPACE.make(10))
+        owners0 = perf.value("asnode.index.refresh.owners")
+        dropped = 0
+        for dead in (SPACE.make(200), SPACE.make(300), SPACE.make(400)):
+            dropped += vn.drop_dead_target(dead)
+        if dropped:
+            node.mark_dirty(vn)
+        assert dropped == 3
+        node.best_match(net, SPACE.make(10))
+        assert perf.value("asnode.index.refresh.owners") == owners0 + 1
+
+
 class TestUpkeep:
     def test_drop_pointer(self):
         node = RoflAS("AS-X", SPACE, cache_entries=8)

@@ -150,6 +150,44 @@ class TestPointerUpkeep:
         assert router.state_entries(include_cache=False) == 5
 
 
+class TestFlushCoalescing:
+    def test_pointer_upkeep_marks_each_vn_once(self):
+        """reroute + drop on the same VN coalesce into one re-diff at the
+        next flush, and the flush itself is a single epoch."""
+        from repro.util import perf
+
+        router = make_router()
+        node = vn(100)
+        old = succ(200, path=("r0", "dead", "r1"))
+        node.successors = [old, succ(300)]
+        router.register_virtual_node(node)
+        router.best_match(SPACE.make(1))  # settle the initial rebuild
+        epoch0 = router.flush_epoch
+        flushes0 = perf.value("router.index.refresh.flushes")
+        owners0 = perf.value("router.index.refresh.owners")
+        router.reroute_pointer(old, succ(200, path=("r0", "r2", "r1")))
+        router.drop_pointer(succ(300))
+        router.flush_index()
+        assert router.flush_epoch == epoch0 + 1
+        assert perf.value("router.index.refresh.flushes") == flushes0 + 1
+        assert perf.value("router.index.refresh.owners") == owners0 + 1
+        assert node.successors[0].path == ("r0", "r2", "r1")
+        assert len(node.successors) == 1
+
+    def test_flush_index_is_idempotent_when_clean(self):
+        from repro.util import perf
+
+        router = make_router()
+        router.register_virtual_node(vn(100))
+        router.flush_index()
+        epoch0 = router.flush_epoch
+        flushes0 = perf.value("router.index.refresh.flushes")
+        router.flush_index()
+        router.flush_index()
+        assert router.flush_epoch == epoch0
+        assert perf.value("router.index.refresh.flushes") == flushes0
+
+
 @settings(max_examples=60)
 @given(st.lists(st.tuples(st.integers(min_value=0, max_value=65535),
                           st.lists(st.integers(min_value=0, max_value=65535),
