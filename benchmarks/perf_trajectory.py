@@ -107,15 +107,74 @@ def _throughput_row(n_hosts: int, join_fn, send_fn, n_sends: int,
     }
 
 
+def _snap_path(snapshot_dir, section: str, n_hosts: int, seed: int):
+    if snapshot_dir is None:
+        return None
+    return os.path.join(snapshot_dir,
+                        "{}-{}h-s{}.snap".format(section, n_hosts, seed))
+
+
+def _finish_snapshot_row(row: dict, net, snap_path, warm: bool,
+                         section: str, construct_seconds: float = 0.0
+                         ) -> None:
+    """Cold runs save a snapshot (stamping their build time into the
+    header meta); warm runs annotate the row with the load-vs-build
+    speedup read back from that meta.
+
+    ``build_seconds`` is everything a warm start avoids: topology +
+    network construction (outside the join timing) plus the join phase.
+    """
+    if snap_path is None:
+        return
+    from repro import snapshot
+    if not warm:
+        build = round(construct_seconds + row["join_seconds"], 3)
+        snapshot.save(net, snap_path,
+                      meta={"build_seconds": build,
+                            "section": section, "hosts": row["hosts"]})
+        row["warm_start"] = False
+        return
+    cold = snapshot.describe(snap_path)["meta"].get("build_seconds")
+    row["warm_start"] = True
+    row["snapshot_load_seconds"] = row["join_seconds"]
+    row["cold_build_seconds"] = cold
+    if cold and row["join_seconds"]:
+        row["snapshot_speedup"] = round(cold / row["join_seconds"], 2)
+
+
+def _warm_join_fn(holder: dict, snap_path: str):
+    """A join-phase stand-in that loads the snapshot instead of building:
+    the row's join timing becomes the warm-start cost, and the load is
+    also visible in the perf dump as ``bench.snapshot_load``."""
+    def load(_n_hosts):
+        from repro import snapshot
+        with perf.timed("bench.snapshot_load"):
+            holder["net"] = snapshot.load(snap_path)
+    return load
+
+
 def sweep_inter(populations, n_ases: int = 100, n_sends: int = 2000,
-                seed: int = 0) -> list:
+                seed: int = 0, snapshot_dir=None) -> list:
     rows = []
     for n_hosts in populations:
-        asg = synthetic_as_graph(n_ases=n_ases, seed=seed)
-        net = InterDomainNetwork(asg, n_fingers=8, seed=seed,
-                                 strategy=JoinStrategy.MULTIHOMED)
+        snap_path = _snap_path(snapshot_dir, "inter", n_hosts, seed)
+        warm = snap_path is not None and os.path.exists(snap_path)
+        holder = {}
+        construct_seconds = 0.0
+        if warm:
+            join_fn, settle_fn = _warm_join_fn(holder, snap_path), None
+        else:
+            t0 = time.perf_counter()
+            asg = synthetic_as_graph(n_ases=n_ases, seed=seed)
+            holder["net"] = InterDomainNetwork(
+                asg, n_fingers=8, seed=seed,
+                strategy=JoinStrategy.MULTIHOMED)
+            construct_seconds = time.perf_counter() - t0
+            join_fn = holder["net"].join_random_hosts
+            settle_fn = holder["net"].flush_indexes
 
         def send_many(count):
+            net = holder["net"]
             delivered = 0
             for _ in range(count):
                 a, b = net.random_host_pair()
@@ -125,25 +184,43 @@ def sweep_inter(populations, n_ases: int = 100, n_sends: int = 2000,
                     "interdomain delivery degraded: {}/{}".format(
                         delivered, count))
 
-        row = _throughput_row(n_hosts, net.join_random_hosts, send_many,
-                              n_sends, settle_fn=net.flush_indexes,
-                              warm_fn=net.bgp.warm)
+        row = _throughput_row(n_hosts, join_fn, send_many, n_sends,
+                              settle_fn=settle_fn,
+                              warm_fn=lambda: holder["net"].bgp.warm())
+        _finish_snapshot_row(row, holder["net"], snap_path, warm, "inter",
+                             construct_seconds)
         rows.append(row)
         print("  inter {:>6} hosts: {:>7.1f} joins/s  {:>7.1f} sends/s  "
-              "rss {:.0f} MiB".format(n_hosts, row["joins_per_sec"],
-                                      row["sends_per_sec"],
-                                      row["peak_rss_mb"]))
+              "rss {:.0f} MiB{}".format(
+                  n_hosts, row["joins_per_sec"], row["sends_per_sec"],
+                  row["peak_rss_mb"],
+                  "  [warm {:.2f}s = {:.1f}x]".format(
+                      row["snapshot_load_seconds"],
+                      row.get("snapshot_speedup", 0)) if warm else ""))
     return rows
 
 
 def sweep_intra(populations, n_routers: int = 67, n_sends: int = 2000,
-                seed: int = 0) -> list:
+                seed: int = 0, snapshot_dir=None) -> list:
     rows = []
     for n_hosts in populations:
-        topo = synthetic_isp(n_routers=n_routers, seed=seed, name="AS3967")
-        net = IntraDomainNetwork(topo, seed=seed)
+        snap_path = _snap_path(snapshot_dir, "intra", n_hosts, seed)
+        warm = snap_path is not None and os.path.exists(snap_path)
+        holder = {}
+        construct_seconds = 0.0
+        if warm:
+            join_fn, settle_fn = _warm_join_fn(holder, snap_path), None
+        else:
+            t0 = time.perf_counter()
+            topo = synthetic_isp(n_routers=n_routers, seed=seed,
+                                 name="AS3967")
+            holder["net"] = IntraDomainNetwork(topo, seed=seed)
+            construct_seconds = time.perf_counter() - t0
+            join_fn = holder["net"].join_random_hosts
+            settle_fn = holder["net"].flush_indexes
 
         def send_many(count):
+            net = holder["net"]
             delivered = 0
             for _ in range(count):
                 a, b = net.random_host_pair()
@@ -153,13 +230,18 @@ def sweep_intra(populations, n_routers: int = 67, n_sends: int = 2000,
                     "intradomain delivery degraded: {}/{}".format(
                         delivered, count))
 
-        row = _throughput_row(n_hosts, net.join_random_hosts, send_many,
-                              n_sends, settle_fn=net.flush_indexes)
+        row = _throughput_row(n_hosts, join_fn, send_many, n_sends,
+                              settle_fn=settle_fn)
+        _finish_snapshot_row(row, holder["net"], snap_path, warm, "intra",
+                             construct_seconds)
         rows.append(row)
         print("  intra {:>6} hosts: {:>7.1f} joins/s  {:>7.1f} sends/s  "
-              "rss {:.0f} MiB".format(n_hosts, row["joins_per_sec"],
-                                      row["sends_per_sec"],
-                                      row["peak_rss_mb"]))
+              "rss {:.0f} MiB{}".format(
+                  n_hosts, row["joins_per_sec"], row["sends_per_sec"],
+                  row["peak_rss_mb"],
+                  "  [warm {:.2f}s = {:.1f}x]".format(
+                      row["snapshot_load_seconds"],
+                      row.get("snapshot_speedup", 0)) if warm else ""))
     return rows
 
 
@@ -270,7 +352,14 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default=None,
                         help="output path (default: repo-root "
                              "BENCH_scaling.json)")
+    parser.add_argument("--snapshot-dir", default=None, metavar="DIR",
+                        help="warm-start cache: first run saves a "
+                             "snapshot per population, later runs load "
+                             "it instead of rebuilding and record the "
+                             "speedup in each row")
     args = parser.parse_args(argv)
+    if args.snapshot_dir is not None:
+        os.makedirs(args.snapshot_dir, exist_ok=True)
 
     inter_pops = (QUICK_POPULATIONS if args.quick
                   else EXTENDED_INTER_POPULATIONS if args.extended
@@ -283,14 +372,21 @@ def main(argv=None) -> int:
                       else WORKLOAD_SWEEP)
 
     print("interdomain sweep (populations {}):".format(inter_pops))
-    inter_rows = sweep_inter(inter_pops)
+    inter_rows = sweep_inter(inter_pops, snapshot_dir=args.snapshot_dir)
     print("intradomain sweep (populations {}):".format(intra_pops))
-    intra_rows = sweep_intra(intra_pops)
+    intra_rows = sweep_intra(intra_pops, snapshot_dir=args.snapshot_dir)
     print("workload sweep (rate multipliers {}):".format(workload_mults))
     workload_rows = sweep_workload(workload_mults)
 
     if args.cliff_floor > 0:
-        check_scaling_cliff(inter_rows, "interdomain", args.cliff_floor)
+        # Warm rows' "join" phase is a snapshot load, not protocol joins,
+        # so the joins/sec cliff metric is meaningless there; sends still
+        # run live against the loaded network and stay gated.
+        inter_metrics = (("sends_per_sec",)
+                         if any(r.get("warm_start") for r in inter_rows)
+                         else ("joins_per_sec", "sends_per_sec"))
+        check_scaling_cliff(inter_rows, "interdomain", args.cliff_floor,
+                            metrics=inter_metrics)
         check_scaling_cliff(intra_rows, "intradomain", args.cliff_floor,
                             metrics=("sends_per_sec",))
 

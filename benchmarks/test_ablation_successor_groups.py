@@ -6,10 +6,9 @@ trade: bigger groups cost more per-router state but make host-failure
 repair cheaper (the predecessor usually repairs locally from its group
 instead of issuing extra lookups)."""
 
-import random
-
 from repro.intra.network import IntraDomainNetwork
 from repro.topology.isp import synthetic_isp
+from repro.util.rng import derive_rng
 
 GROUP_SIZES = (1, 2, 4, 8)
 
@@ -22,7 +21,7 @@ def run_ablation():
         net.join_random_hosts(400)
         state = sum(net.memory_entries_per_router(include_cache=False)
                     .values())
-        rng = random.Random(0)
+        rng = derive_rng(0, "ablation-successor-groups", group)
         costs = [net.fail_host(rng.choice(sorted(net.hosts)))
                  for _ in range(80)]
         net.check_ring()

@@ -11,6 +11,12 @@ Commands:
 * ``trace`` — route packets under the ``repro.obs`` tracer and render
   each decision tree with per-hop stretch attribution; ``--scenario``
   replays a workload window instead.
+* ``serve [--kind intra|inter] [--hosts N] [--snapshot PATH] [--tcp PORT]``
+  — build (or warm-load) a network once and answer line-delimited JSON
+  requests against it (``repro.serve``; ``--requests FILE`` scripts a
+  session for tests and CI).
+* ``snapshot {save,info,verify} PATH`` — checkpoint/restore of complete
+  network state with canonical state hashing (``repro.snapshot``).
 * ``quickstart`` — a 30-second end-to-end tour of the intradomain system.
 * ``info`` — package, paper, and inventory summary.
 
@@ -314,6 +320,79 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ReproServer, build_network
+
+    if args.snapshot is not None:
+        from repro import snapshot
+        net = snapshot.load(args.snapshot, verify=args.verify)
+        print("serve: loaded {} ({})".format(
+            args.snapshot, snapshot.describe(args.snapshot)["counts"]),
+            file=sys.stderr)
+    else:
+        net = build_network(kind=args.kind, seed=args.seed,
+                            n_routers=args.routers, n_ases=args.ases,
+                            hosts=args.hosts,
+                            cache_entries=args.cache_entries)
+        print("serve: built {} network (seed {}, {} hosts)".format(
+            args.kind, args.seed, args.hosts), file=sys.stderr)
+
+    server = ReproServer(net)
+    if args.requests is not None:
+        with open(args.requests) as fh:
+            answered = server.serve_lines(fh, sys.stdout)
+        print("serve: answered {} scripted request(s)".format(answered),
+              file=sys.stderr)
+        return 0
+    if args.tcp is not None:
+        def ready(port: int) -> None:
+            print("serve: listening on {}:{}".format(args.host, port),
+                  file=sys.stderr)
+        server.serve_tcp(host=args.host, port=args.tcp, ready=ready)
+        return 0
+    print("serve: reading JSON requests from stdin "
+          "(one per line; op 'shutdown' exits)", file=sys.stderr)
+    server.serve_stdio()
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro import snapshot
+
+    if args.action == "save":
+        from repro.serve import build_network
+        net = build_network(kind=args.kind, seed=args.seed,
+                            n_routers=args.routers, n_ases=args.ases,
+                            hosts=args.hosts,
+                            cache_entries=args.cache_entries)
+        digest = snapshot.save(net, args.path, meta={"source": "cli"})
+        print("saved {} ({} hosts) state_hash={}".format(
+            args.path, len(net.hosts), digest[:16]))
+        return 0
+    if args.action == "info":
+        header = snapshot.describe(args.path)
+        for key in ("kind", "schema", "state_hash"):
+            print("{:<12} {}".format(key, header[key]))
+        for name, count in sorted(header["counts"].items()):
+            print("{:<12} {}".format(name, count))
+        if header["meta"]:
+            print("{:<12} {}".format("meta", json.dumps(header["meta"],
+                                                        sort_keys=True)))
+        return 0
+    # verify: load, recompute the canonical hash, sweep invariant probes.
+    net = snapshot.load(args.path, verify=True)
+    violations = snapshot.validate_network(net)
+    if violations:
+        print("verify: hash OK but {} invariant violation(s):".format(
+            len(violations)), file=sys.stderr)
+        for violation in violations:
+            print("  {}".format(violation), file=sys.stderr)
+        return 1
+    print("verify: {} OK (hash matches, invariants clean, {} hosts)".format(
+        args.path, len(net.hosts)))
+    return 0
+
+
 def _cmd_info(_args: argparse.Namespace) -> int:
     import repro
     print("repro {} — ROFL: Routing on Flat Labels (SIGCOMM 2006)".format(
@@ -385,6 +464,47 @@ def main(argv=None) -> int:
     tracecmd.add_argument("--trace-sample", type=float, default=1.0,
                           metavar="F", help="fraction of packet spans to keep")
     tracecmd.set_defaults(func=_cmd_trace)
+
+    serve = sub.add_parser(
+        "serve",
+        help="hold a network resident and answer JSON-line requests")
+    serve.add_argument("--kind", choices=("intra", "inter"), default="intra",
+                       help="network kind to build (default intra)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--routers", type=int, default=40,
+                       help="intra: router count (default 40)")
+    serve.add_argument("--ases", type=int, default=60,
+                       help="inter: AS count (default 60)")
+    serve.add_argument("--hosts", type=int, default=200,
+                       help="hosts to join before serving (default 200)")
+    serve.add_argument("--cache-entries", type=int, default=None,
+                       help="pointer-cache size override")
+    serve.add_argument("--snapshot", default=None, metavar="PATH",
+                       help="warm-load this snapshot instead of building")
+    serve.add_argument("--verify", action="store_true",
+                       help="verify the snapshot hash while loading")
+    serve.add_argument("--tcp", type=int, default=None, metavar="PORT",
+                       help="serve over TCP instead of stdio (0 = ephemeral)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="TCP bind address (default 127.0.0.1)")
+    serve.add_argument("--requests", default=None, metavar="FILE",
+                       help="answer the JSON-line requests in FILE and exit")
+    serve.set_defaults(func=_cmd_serve)
+
+    snap = sub.add_parser(
+        "snapshot",
+        help="save, inspect, or verify a network state snapshot")
+    snap.add_argument("action", choices=("save", "info", "verify"))
+    snap.add_argument("path", help="snapshot file")
+    snap.add_argument("--kind", choices=("intra", "inter"), default="intra",
+                      help="save: network kind to build (default intra)")
+    snap.add_argument("--seed", type=int, default=0)
+    snap.add_argument("--routers", type=int, default=40)
+    snap.add_argument("--ases", type=int, default=60)
+    snap.add_argument("--hosts", type=int, default=200,
+                      help="save: hosts to join before saving (default 200)")
+    snap.add_argument("--cache-entries", type=int, default=None)
+    snap.set_defaults(func=_cmd_snapshot)
 
     quick = sub.add_parser("quickstart", help="run the quickstart scenario")
     quick.set_defaults(func=_cmd_quickstart)

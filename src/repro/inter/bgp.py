@@ -34,6 +34,19 @@ class BgpBaseline:
         self._tables: Dict[Hashable, Dict[Hashable, Tuple[int, int]]] = {}
         self._topo_order: Optional[List[Hashable]] = None
 
+    def __getstate__(self):
+        """Serialize without the memoised route tables.
+
+        The tables are pure derived state (``warm()`` rebuilds them
+        deterministically from the AS graph), so :mod:`repro.snapshot`
+        marks them rebuild-on-load; this also keeps the canonical state
+        hash independent of oracle warm-up.
+        """
+        state = self.__dict__.copy()
+        state["_tables"] = {}
+        state["_topo_order"] = None
+        return state
+
     # -- internals --------------------------------------------------------------
 
     def _providers(self, asn: Hashable) -> List[Hashable]:

@@ -22,7 +22,7 @@ from repro.sim.stats import PathResult, StatsCollector
 from repro.topology.asgraph import ASGraph
 from repro.topology.hosts import HostPlan, HostTable, PlannedHost
 from repro.util.ringmap import SortedRingMap
-from repro.util.rng import derive_rng
+from repro.util.rng import RngRegistry
 
 
 class InterRingInconsistency(AssertionError):
@@ -58,7 +58,10 @@ class InterDomainNetwork:
         self.peering_mode = peering_mode
         self.cache_fill_enabled = cache_fill_enabled and cache_entries > 0
         self.lookup_mismatches = 0
-        self._rng = derive_rng(seed, "internet")
+        #: Every long-lived derived stream of this network, enumerable so
+        #: :mod:`repro.snapshot` can capture/restore stream positions.
+        self.rngs = RngRegistry(seed)
+        self._rng = self.rngs.derive("internet")
         self._failed: Set[Hashable] = set()
 
         self.ases: Dict[Hashable, RoflAS] = {
@@ -78,7 +81,8 @@ class InterDomainNetwork:
         if not bearers:
             bearers, weights = asg.stubs(), None
         self._plan = HostPlan(attachment_points=bearers, seed=seed,
-                              weights=weights, authority=self.authority)
+                              weights=weights, authority=self.authority,
+                              registry=self.rngs)
 
     # -- rings -------------------------------------------------------------------
 

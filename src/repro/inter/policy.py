@@ -82,6 +82,18 @@ class PolicyView:
                              "(no tier-1 peering clique or single tier-1)")
         self.root = root
 
+    def __getstate__(self):
+        """Serialize without the pure memo caches (path/step/subtree/
+        profile): they rebuild deterministically on demand, so
+        :mod:`repro.snapshot` marks them rebuild-on-load and the
+        canonical state hash stays independent of query history."""
+        state = self.__dict__.copy()
+        state["_subtree_cache"] = {}
+        state["_policy_path_cache"] = {}
+        state["_step_cache"] = {}
+        state["_profile_cache"] = {}
+        return state
+
     # -- virtual ASes ------------------------------------------------------------
 
     def _build_virtual_ases(self) -> List[VirtualAS]:

@@ -23,7 +23,7 @@ from repro.sim.stats import PathResult, StatsCollector
 from repro.topology.graph import RouterTopology
 from repro.topology.hosts import HostPlan, HostTable, PlannedHost
 from repro.topology.isp import TCAM_ENTRIES
-from repro.util.rng import derive_rng
+from repro.util.rng import RngRegistry
 
 
 class RingInconsistency(AssertionError):
@@ -65,7 +65,10 @@ class IntraDomainNetwork:
         #: caches from delivered data paths as well.
         self.snoop_data_packets = snoop_data_packets
         self.seed = seed
-        self._rng = derive_rng(seed, "intranet", topology.name)
+        #: Every long-lived derived stream of this network, enumerable so
+        #: :mod:`repro.snapshot` can capture/restore stream positions.
+        self.rngs = RngRegistry(seed)
+        self._rng = self.rngs.derive("intranet", topology.name)
 
         self.routers: Dict[str, RoflRouter] = {
             name: RoflRouter(name, self.space, cache_entries)
@@ -80,6 +83,7 @@ class IntraDomainNetwork:
             seed=seed,
             ephemeral_fraction=ephemeral_fraction,
             authority=self.authority,
+            registry=self.rngs,
         )
         ring.bootstrap_router_ring(self)
 

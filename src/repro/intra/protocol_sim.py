@@ -28,7 +28,7 @@ from typing import Callable, List, Optional, TYPE_CHECKING
 from repro.intra.virtualnode import Pointer, VirtualNode
 from repro.sim.engine import Event, EventLoop
 from repro.topology.hosts import PlannedHost
-from repro.util.rng import derive_rng
+from repro.util.rng import RngRegistry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.intra.network import IntraDomainNetwork
@@ -90,7 +90,8 @@ class ProtocolSimulator:
         self.loss_rate = loss_rate
         self.retransmit_ms = retransmit_ms
         self.max_retries = max_retries
-        self._rng = derive_rng(seed, "protocol-sim")
+        self.rngs = RngRegistry(seed)
+        self._rng = self.rngs.derive("protocol-sim")
         self.joins: List[PendingJoin] = []
         self.messages_sent = 0
         self.messages_lost = 0

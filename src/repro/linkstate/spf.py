@@ -75,6 +75,23 @@ class PathCache:
             self._latency_dist.clear()
             self._generation = self.lsmap.generation
 
+    # -- snapshot support ---------------------------------------------------------
+
+    def __getstate__(self):
+        """Serialize the subscription wiring but *not* the cached trees.
+
+        SPF trees are pure derived state (deterministic recomputation
+        from the live map), so :mod:`repro.snapshot` marks them
+        rebuild-on-load instead of shipping megabytes of paths: the
+        loaded cache starts cold and repopulates lazily.  Dropping them
+        here also keeps the canonical state hash independent of how warm
+        the oracle happened to be at save time.
+        """
+        state = self.__dict__.copy()
+        state["_hop_paths"] = {}
+        state["_latency_dist"] = {}
+        return state
+
     # -- hop-count metric --------------------------------------------------------
 
     def _hop_tree(self, src: str) -> Dict[str, List[str]]:

@@ -1,0 +1,329 @@
+"""Persistent request-serving mode: a resident network behind JSON lines.
+
+``python -m repro serve`` builds a network once (or warm-loads a
+:mod:`repro.snapshot`), holds it resident, and answers a stream of
+requests — so interactive exploration, scripted experiments, and
+external tooling pay the expensive build/join phase exactly once instead
+of per invocation.
+
+Protocol — one JSON object per line, in either direction::
+
+    → {"op": "send", "id": 7, "n": 100}
+    ← {"ok": true, "op": "send", "id": 7, "sent": 100, "delivered": 100,
+       "mean_stretch": 1.18, ...}
+
+Every response echoes ``op`` (and ``id`` when the request carried one)
+and has ``ok``; failures carry ``error`` instead of result fields, and a
+bad request never kills the server.  Supported ops: ``ping``, ``info``,
+``join``, ``leave``, ``send``, ``route``, ``workload``, ``metrics``,
+``save``, ``state_hash``, ``verify``, ``shutdown``.  Per-request latency
+is recorded through :mod:`repro.util.perf` as ``serve.request.<op>``
+(the ``metrics`` op reports it back out).
+
+Transports: stdio (default — pipe-friendly), or TCP via ``--tcp PORT``
+(line-delimited JSON over a socket, one resident network shared by
+sequential connections).
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import sys
+from typing import Any, Dict, IO, Iterable, Optional
+
+from repro.util import perf
+
+
+def build_network(kind: str = "intra", seed: int = 0, n_routers: int = 40,
+                  n_ases: int = 60, hosts: int = 0,
+                  cache_entries: Optional[int] = None, n_fingers: int = 8):
+    """Build a fresh network the way workload scenarios do, plus an
+    optional initial join phase (``hosts``)."""
+    if kind == "intra":
+        from repro.intra.network import IntraDomainNetwork
+        from repro.topology.isp import synthetic_isp
+        topo = synthetic_isp(n_routers=n_routers, seed=seed, name="serve")
+        kwargs = {} if cache_entries is None else {
+            "cache_entries": cache_entries}
+        net = IntraDomainNetwork(topo, seed=seed, **kwargs)
+    elif kind == "inter":
+        from repro.inter.network import InterDomainNetwork
+        from repro.topology.asgraph import synthetic_as_graph
+        asg = synthetic_as_graph(n_ases=n_ases, seed=seed)
+        net = InterDomainNetwork(asg, n_fingers=n_fingers, seed=seed,
+                                 cache_entries=cache_entries or 0)
+    else:
+        raise ValueError("kind must be 'intra' or 'inter', got "
+                         "{!r}".format(kind))
+    if hosts:
+        net.join_random_hosts(hosts)
+        net.flush_indexes()
+    return net
+
+
+class ServeError(ValueError):
+    """A request the server understood enough to reject cleanly."""
+
+
+def _path_result_dict(result) -> Dict[str, Any]:
+    return {
+        "delivered": result.delivered,
+        "hops": result.hops,
+        "optimal_hops": result.optimal_hops,
+        "pointer_hops": result.pointer_hops,
+        "used_cache": result.used_cache,
+        "stretch": round(result.stretch, 4),
+        "path": [str(hop) for hop in result.path],
+    }
+
+
+class ReproServer:
+    """One resident network plus the request dispatch around it."""
+
+    def __init__(self, net):
+        self.net = net
+        self.requests_served = 0
+        self._shutdown = False
+
+    @property
+    def kind(self) -> str:
+        return ("intra" if type(self.net).__name__ == "IntraDomainNetwork"
+                else "inter")
+
+    # -- dispatch ----------------------------------------------------------
+
+    def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Answer one decoded request; never raises."""
+        if not isinstance(request, dict):
+            return {"ok": False, "op": None,
+                    "error": "request must be a JSON object"}
+        op = request.get("op")
+        handler = getattr(self, "_op_" + op, None) if isinstance(
+            op, str) else None
+        response: Dict[str, Any] = {"ok": True, "op": op}
+        if "id" in request:
+            response["id"] = request["id"]
+        if handler is None:
+            response["ok"] = False
+            response["error"] = "unknown op {!r}; try one of: {}".format(
+                op, ", ".join(sorted(
+                    name[4:] for name in dir(self)
+                    if name.startswith("_op_"))))
+            return response
+        try:
+            with perf.timed("serve.request.{}".format(op)):
+                result = handler(request)
+        except Exception as exc:
+            response["ok"] = False
+            response["error"] = "{}: {}".format(type(exc).__name__, exc)
+            return response
+        self.requests_served += 1
+        response.update(result)
+        return response
+
+    def handle_line(self, line: str) -> Optional[str]:
+        """Answer one raw request line (empty lines are ignored)."""
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return json.dumps({"ok": False, "op": None,
+                               "error": "bad JSON: {}".format(exc)})
+        return json.dumps(self.handle(request), sort_keys=True)
+
+    # -- ops ---------------------------------------------------------------
+
+    def _op_ping(self, request: Dict) -> Dict:
+        return {"pong": True}
+
+    def _op_info(self, request: Dict) -> Dict:
+        net = self.net
+        info: Dict[str, Any] = {
+            "kind": self.kind,
+            "seed": net.seed,
+            "hosts": len(net.hosts),
+            "rng_streams": len(net.rngs),
+            "requests_served": self.requests_served,
+        }
+        if self.kind == "intra":
+            info["routers"] = len(net.routers)
+            info["topology"] = net.topology.name
+        else:
+            info["ases"] = len(net.ases)
+            info["peering_mode"] = net.peering_mode
+        return info
+
+    def _op_join(self, request: Dict) -> Dict:
+        n = int(request.get("n", 1))
+        if n < 1:
+            raise ServeError("n must be >= 1")
+        receipts = self.net.join_random_hosts(n)
+        names = [r.host_name for r in receipts]
+        return {"joined": len(receipts), "hosts": names,
+                "total_hosts": len(self.net.hosts)}
+
+    def _op_leave(self, request: Dict) -> Dict:
+        host = request.get("host")
+        if not host:
+            raise ServeError("leave needs a 'host' name")
+        if host not in self.net.hosts:
+            raise ServeError("unknown host {!r}".format(host))
+        if self.kind != "intra":
+            raise ServeError(
+                "graceful leave is an intradomain operation; "
+                "interdomain departures are AS failures (fail_as)")
+        messages = self.net.leave_host(host)
+        return {"left": host, "messages": messages,
+                "total_hosts": len(self.net.hosts)}
+
+    def _op_send(self, request: Dict) -> Dict:
+        n = int(request.get("n", 1))
+        if n < 1:
+            raise ServeError("n must be >= 1")
+        if "src" in request or "dst" in request:
+            raise ServeError("send routes random pairs; use op 'route' "
+                             "for a specific src/dst")
+        delivered = cached = 0
+        hops = stretch_sum = 0.0
+        for _ in range(n):
+            result = self.net.send(*self.net.random_host_pair())
+            if result.delivered:
+                delivered += 1
+                hops += result.hops
+                stretch_sum += result.stretch
+            cached += result.used_cache
+        return {
+            "sent": n,
+            "delivered": delivered,
+            "cache_hits": cached,
+            "mean_hops": round(hops / delivered, 4) if delivered else 0.0,
+            "mean_stretch": round(stretch_sum / delivered, 4)
+            if delivered else 0.0,
+        }
+
+    def _op_route(self, request: Dict) -> Dict:
+        src, dst = request.get("src"), request.get("dst")
+        if not src or not dst:
+            raise ServeError("route needs 'src' and 'dst' host names")
+        for host in (src, dst):
+            if host not in self.net.hosts:
+                raise ServeError("unknown host {!r}".format(host))
+        return _path_result_dict(self.net.send(src, dst))
+
+    def _op_workload(self, request: Dict) -> Dict:
+        from repro.workload.driver import run_scenario
+        from repro.workload.scenario import Scenario, builtin_scenario
+        spec = request.get("scenario")
+        if isinstance(spec, str):
+            scenario = builtin_scenario(spec, seed=int(request.get(
+                "seed", self.net.seed)))
+        elif isinstance(spec, dict):
+            scenario = Scenario.from_dict(spec)
+        else:
+            raise ServeError("workload needs 'scenario': a builtin name "
+                             "or a full scenario object")
+        expected = scenario.network.kind
+        if expected != self.kind:
+            raise ServeError(
+                "scenario targets a {!r} network but the resident network "
+                "is {!r}".format(expected, self.kind))
+        result = run_scenario(scenario, network=self.net)
+        view = result.deterministic_view()
+        return {
+            "scenario": scenario.name,
+            "summary": view["summary"],
+            "totals": view["totals"],
+            "faults": len(view["fault_log"]),
+            "violations": view["violations"],
+            "wall_seconds": result.wall_seconds,
+        }
+
+    def _op_metrics(self, request: Dict) -> Dict:
+        return {
+            "stats": self.net.stats.snapshot(),
+            "perf": perf.snapshot(),
+            "requests_served": self.requests_served,
+        }
+
+    def _op_save(self, request: Dict) -> Dict:
+        from repro import snapshot
+        path = request.get("path")
+        if not path:
+            raise ServeError("save needs a 'path'")
+        digest = snapshot.save(self.net, path,
+                               meta={"source": "serve",
+                                     **request.get("meta", {})})
+        return {"path": path, "state_hash": digest}
+
+    def _op_state_hash(self, request: Dict) -> Dict:
+        from repro import snapshot
+        self.net.flush_indexes()
+        return {"state_hash": snapshot.state_hash(self.net)}
+
+    def _op_verify(self, request: Dict) -> Dict:
+        from repro import snapshot
+        violations = snapshot.validate_network(self.net)
+        return {"violations": violations, "clean": not violations}
+
+    def _op_shutdown(self, request: Dict) -> Dict:
+        self._shutdown = True
+        return {"bye": True, "requests_served": self.requests_served}
+
+    # -- transports --------------------------------------------------------
+
+    def serve_lines(self, lines: Iterable[str], out: IO[str]) -> int:
+        """Core loop shared by every transport; returns requests answered."""
+        answered = 0
+        for line in lines:
+            reply = self.handle_line(line)
+            if reply is None:
+                continue
+            out.write(reply + "\n")
+            out.flush()
+            answered += 1
+            if self._shutdown:
+                break
+        return answered
+
+    def serve_stdio(self, stdin: Optional[IO[str]] = None,
+                    stdout: Optional[IO[str]] = None) -> int:
+        return self.serve_lines(stdin or sys.stdin, stdout or sys.stdout)
+
+    def serve_tcp(self, host: str = "127.0.0.1", port: int = 0,
+                  ready=None) -> None:
+        """Serve line-delimited JSON over TCP until a ``shutdown`` op.
+
+        ``ready(actual_port)`` is called once the socket is bound —
+        tests use it to learn an ephemeral port.
+        """
+        server_self = self
+
+        class Handler(socketserver.StreamRequestHandler):
+            def handle(self) -> None:
+                reader = (raw.decode("utf-8", "replace")
+                          for raw in self.rfile)
+                out = _SocketWriter(self.wfile)
+                server_self.serve_lines(reader, out)
+
+        with socketserver.TCPServer((host, port), Handler) as tcp:
+            tcp.allow_reuse_address = True
+            if ready is not None:
+                ready(tcp.server_address[1])
+            while not self._shutdown:
+                tcp.handle_request()
+
+
+class _SocketWriter:
+    """File-ish text adapter over a binary socket write file."""
+
+    def __init__(self, wfile):
+        self.wfile = wfile
+
+    def write(self, text: str) -> None:
+        self.wfile.write(text.encode("utf-8"))
+
+    def flush(self) -> None:
+        self.wfile.flush()

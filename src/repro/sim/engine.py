@@ -127,3 +127,30 @@ class EventLoop:
     @property
     def pending(self) -> int:
         return len(self._heap) - self._cancelled
+
+    # -- snapshot support ---------------------------------------------------
+
+    def pending_events(self) -> list:
+        """The live (non-cancelled) events in firing order."""
+        return sorted(e for e in self._heap if not e.cancelled)
+
+    def __getstate__(self):
+        """Serialize the virtual clock and the *live* pending queue.
+
+        Cancelled heap entries are compacted away (they are garbage, and
+        their callbacks may not be serializable), and the ``on_event``
+        observer is dropped — observers (e.g. an installed tracer with an
+        open file sink) are process-local wiring that the loading side
+        re-attaches explicitly.  Event callbacks themselves must be
+        picklable for a mid-run loop to snapshot; a quiescent (drained)
+        loop always is.
+        """
+        state = self.__dict__.copy()
+        state["_heap"] = self.pending_events()
+        state["_cancelled"] = 0
+        state["on_event"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        heapq.heapify(self._heap)

@@ -49,6 +49,14 @@ class ASGraph:
         # neighbour lists are memoised (invalidated by the mutators).
         self._rel_cache: Dict[tuple, tuple] = {}
 
+    def __getstate__(self):
+        """Serialize without the neighbour-list memo (pure derived state;
+        rebuild-on-load keeps snapshots lean and the canonical state hash
+        independent of query history)."""
+        state = self.__dict__.copy()
+        state["_rel_cache"] = {}
+        return state
+
     # -- construction -------------------------------------------------------
 
     def add_as(self, asn: Hashable, tier: int = 3, hosts: int = 0) -> None:

@@ -14,7 +14,7 @@ from typing import Hashable, Iterator, List, Optional
 
 from repro.idspace.crypto import KeyPair, SignatureAuthority
 from repro.idspace.identifier import FlatId
-from repro.util.rng import derive_rng, sample_zipf_counts
+from repro.util.rng import RngRegistry, derive_rng, sample_zipf_counts
 
 #: The Internet size the paper normalises to (Section 6.1).
 PAPER_INTERNET_HOSTS = 600_000_000
@@ -93,6 +93,21 @@ class HostTable(dict):
         for key, value in kwargs.items():
             self[key] = value
 
+    def __reduce__(self):
+        # The default dict-subclass reduction replays items through
+        # ``__setitem__`` *before* ``__setstate__`` assigns the ``names``
+        # slot, which crashes on the ``self.names.append`` above.  Rebuild
+        # from the item list instead; re-inserting in order reproduces
+        # ``names`` exactly (it is always equal to ``list(self)``).
+        return (_host_table_from_items, (list(self.items()),))
+
+
+def _host_table_from_items(items) -> "HostTable":
+    table = HostTable()
+    for key, value in items:
+        table[key] = value
+    return table
+
 
 class HostPlan:
     """Deterministic host population for one experiment.
@@ -109,6 +124,7 @@ class HostPlan:
         weights: Optional[List[float]] = None,
         ephemeral_fraction: float = 0.0,
         authority: Optional[SignatureAuthority] = None,
+        registry: Optional[RngRegistry] = None,
     ):
         if not attachment_points:
             raise ValueError("no attachment points")
@@ -116,12 +132,19 @@ class HostPlan:
             raise ValueError("weights length mismatch")
         if not 0.0 <= ephemeral_fraction <= 1.0:
             raise ValueError("ephemeral_fraction out of range")
+        if registry is not None and registry.seed != seed:
+            raise ValueError("registry seed {!r} != plan seed {!r}".format(
+                registry.seed, seed))
         self.attachment_points = list(attachment_points)
         self.weights = list(weights) if weights is not None else None
         self.seed = seed
         self.ephemeral_fraction = ephemeral_fraction
         self.authority = authority or SignatureAuthority()
-        self._rng = derive_rng(seed, "hostplan")
+        # Same stream either way ("hostplan" scope under ``seed``); a
+        # caller-supplied registry just makes the stream enumerable for
+        # snapshot capture/restore.
+        self._rng = (registry.derive("hostplan") if registry is not None
+                     else derive_rng(seed, "hostplan"))
         self._made = 0
 
     def next_host(self) -> PlannedHost:

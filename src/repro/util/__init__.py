@@ -10,11 +10,12 @@
 
 from repro.util.bloom import BloomFilter, CountingBloomFilter
 from repro.util.ringmap import SortedRingMap
-from repro.util.rng import derive_rng, stable_hash, zipf_weights
+from repro.util.rng import RngRegistry, derive_rng, stable_hash, zipf_weights
 
 __all__ = [
     "BloomFilter",
     "CountingBloomFilter",
+    "RngRegistry",
     "SortedRingMap",
     "derive_rng",
     "stable_hash",

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.sim.engine import EventLoop
 from repro.sim.stats import PathResult
-from repro.util.rng import derive_rng
+from repro.util.rng import RngRegistry
 from repro.workload.faults import injector_from_spec
 from repro.workload.metrics import MetricsRecorder
 from repro.workload.processes import (PoissonProcess, lifetime_from_spec,
@@ -185,7 +185,7 @@ class WorkloadDriver:
                         else _InterAdapter(self.net))
         self.loop = EventLoop()
         self.fault_log: List[Dict] = []
-        self._rngs: Dict[tuple, object] = {}
+        self.rngs = RngRegistry(scenario.seed)
         self._live: List[str] = []       # join-ordered live host names
         self._live_set = set()
         self._skipped_sends = 0
@@ -209,11 +209,7 @@ class WorkloadDriver:
 
     def rng(self, *scope):
         """The cached ``derive_rng`` stream for one consumer scope."""
-        stream = self._rngs.get(scope)
-        if stream is None:
-            stream = self._rngs[scope] = derive_rng(
-                self.scenario.seed, "workload", *scope)
-        return stream
+        return self.rngs.derive("workload", *scope)
 
     # -- membership ---------------------------------------------------------
 

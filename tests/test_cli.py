@@ -48,7 +48,8 @@ def test_help_lists_every_subcommand(capsys):
         main(["--help"])
     assert exc.value.code == 0
     out = capsys.readouterr().out
-    for command in ("figures", "workload", "quickstart", "info"):
+    for command in ("figures", "workload", "quickstart", "info",
+                    "serve", "snapshot"):
         assert command in out
 
 
@@ -122,3 +123,60 @@ def test_workload_seed_override_changes_result(tmp_path, capsys):
     assert base["scenario"]["seed"] == 0
     assert reseeded["scenario"]["seed"] == 9
     assert base["samples"] != reseeded["samples"]
+
+
+def test_snapshot_save_info_verify_cycle(tmp_path, capsys):
+    path = tmp_path / "net.snap"
+    assert main(["snapshot", "save", str(path), "--hosts", "30",
+                 "--routers", "16", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "state_hash=" in out and "30 hosts" in out
+
+    assert main(["snapshot", "info", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "IntraDomainNetwork" in out
+    assert "hosts        30" in out
+
+    assert main(["snapshot", "verify", str(path)]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_snapshot_info_rejects_non_snapshot(tmp_path):
+    from repro.snapshot import SnapshotError
+    noise = tmp_path / "noise.bin"
+    noise.write_bytes(b"\x00 not a snapshot")
+    with pytest.raises(SnapshotError):
+        main(["snapshot", "info", str(noise)])
+
+
+def test_serve_requests_file_session(tmp_path, capsys):
+    requests = tmp_path / "requests.jsonl"
+    requests.write_text("\n".join(json.dumps(r) for r in (
+        {"op": "ping", "id": 0},
+        {"op": "info", "id": 1},
+        {"op": "send", "n": 5, "id": 2},
+        {"op": "shutdown", "id": 3},
+    )) + "\n")
+    assert main(["serve", "--hosts", "25", "--routers", "16",
+                 "--requests", str(requests)]) == 0
+    captured = capsys.readouterr()
+    lines = [json.loads(line) for line in captured.out.splitlines()]
+    assert [r["ok"] for r in lines] == [True] * 4
+    assert lines[1]["hosts"] == 25
+    assert lines[2]["delivered"] == 5
+    assert "answered 4 scripted request(s)" in captured.err
+
+
+def test_serve_warm_loads_snapshot(tmp_path, capsys):
+    path = tmp_path / "warm.snap"
+    assert main(["snapshot", "save", str(path), "--hosts", "20",
+                 "--routers", "16"]) == 0
+    capsys.readouterr()
+    requests = tmp_path / "requests.jsonl"
+    requests.write_text('{"op": "info"}\n{"op": "shutdown"}\n')
+    assert main(["serve", "--snapshot", str(path), "--verify",
+                 "--requests", str(requests)]) == 0
+    captured = capsys.readouterr()
+    info = json.loads(captured.out.splitlines()[0])
+    assert info["hosts"] == 20
+    assert "loaded" in captured.err

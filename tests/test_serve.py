@@ -1,0 +1,202 @@
+"""The persistent request-serving mode (``repro.serve``)."""
+
+import io
+import json
+import socket
+import threading
+
+import pytest
+
+from repro import snapshot
+from repro.serve import ReproServer, build_network
+from repro.util import perf
+
+
+@pytest.fixture(scope="module")
+def server():
+    """One resident intradomain network shared by the read-only tests."""
+    return ReproServer(build_network(kind="intra", seed=1, n_routers=20,
+                                     hosts=40))
+
+
+def ok(server, **request):
+    response = server.handle(request)
+    assert response["ok"], response
+    return response
+
+
+def err(server, **request):
+    response = server.handle(request)
+    assert not response["ok"], response
+    return response["error"]
+
+
+class TestDispatch:
+    def test_ping(self, server):
+        assert ok(server, op="ping")["pong"] is True
+
+    def test_id_echoed(self, server):
+        assert ok(server, op="ping", id=42)["id"] == 42
+
+    def test_info(self, server):
+        info = ok(server, op="info")
+        assert info["kind"] == "intra"
+        assert info["routers"] == 20
+        assert info["hosts"] >= 40
+        assert info["rng_streams"] >= 2
+
+    def test_send(self, server):
+        result = ok(server, op="send", n=25)
+        assert result["sent"] == 25
+        assert result["delivered"] == 25
+        assert result["mean_stretch"] >= 1.0 or result["mean_stretch"] == 0.0
+
+    def test_route(self, server):
+        result = ok(server, op="route", src="h0", dst="h1")
+        assert result["delivered"] is True
+        assert result["hops"] == len(result["path"]) - 1
+        assert result["stretch"] >= 0.0
+
+    def test_route_unknown_host(self, server):
+        assert "unknown host" in err(server, op="route", src="h0",
+                                     dst="nope")
+
+    def test_state_hash_and_verify(self, server):
+        digest = ok(server, op="state_hash")["state_hash"]
+        assert digest == snapshot.state_hash(server.net)
+        verdict = ok(server, op="verify")
+        assert verdict["clean"] is True and verdict["violations"] == []
+
+    def test_metrics_include_request_latency(self, server):
+        ok(server, op="ping")
+        metrics = ok(server, op="metrics")
+        assert "serve.request.ping" in metrics["perf"]["timers"]
+        assert metrics["perf"]["timers"]["serve.request.ping"]["calls"] >= 1
+        assert "messages_total" in metrics["stats"] or metrics["stats"]
+
+    def test_unknown_op_lists_choices(self, server):
+        message = err(server, op="frobnicate")
+        assert "unknown op" in message and "ping" in message
+
+    def test_malformed_request_shapes(self, server):
+        assert not server.handle(["not", "a", "dict"])["ok"]
+        assert not server.handle({})["ok"]
+        assert not server.handle({"op": 7})["ok"]
+
+    def test_bad_params_do_not_kill_server(self, server):
+        assert "n must be" in err(server, op="send", n=0)
+        assert "n must be" in err(server, op="join", n=-1)
+        assert ok(server, op="ping")["pong"] is True
+
+
+class TestMutatingOps:
+    def test_join_leave_cycle(self):
+        server = ReproServer(build_network(kind="intra", seed=2,
+                                           n_routers=16, hosts=10))
+        joined = ok(server, op="join", n=5)
+        assert joined["joined"] == 5 and joined["total_hosts"] == 15
+        left = ok(server, op="leave", host=joined["hosts"][0])
+        assert left["total_hosts"] == 14 and left["messages"] >= 0
+        server.net.check_ring()
+
+    def test_leave_needs_intra(self):
+        server = ReproServer(build_network(kind="inter", seed=2, n_ases=20,
+                                           hosts=10))
+        name = ok(server, op="join", n=1)["hosts"][0]
+        assert "intradomain" in err(server, op="leave", host=name)
+
+    def test_save_then_warm_start_equivalence(self, tmp_path):
+        server = ReproServer(build_network(kind="intra", seed=4,
+                                           n_routers=16, hosts=20))
+        path = str(tmp_path / "resident.snap")
+        saved = ok(server, op="save", path=path)
+        assert saved["state_hash"] == snapshot.describe(path)["state_hash"]
+        twin = ReproServer(snapshot.load(path, verify=True))
+        assert (ok(server, op="send", n=10) == {
+            k: v for k, v in ok(twin, op="send", n=10).items()})
+
+    def test_workload_runs_on_resident_network(self):
+        server = ReproServer(build_network(kind="intra", seed=0,
+                                           n_routers=40, hosts=0))
+        result = ok(server, op="workload", scenario="steady-churn")
+        assert result["scenario"] == "steady-churn"
+        assert result["totals"]["joins"] > 0
+        assert server.net.n_hosts > 0      # the resident network mutated
+
+    def test_workload_kind_mismatch(self, server):
+        assert "resident network" in err(server, op="workload",
+                                         scenario="depeering")
+
+    def test_workload_needs_scenario(self, server):
+        assert "scenario" in err(server, op="workload")
+
+
+class TestLineProtocol:
+    def test_twenty_request_session(self):
+        server = ReproServer(build_network(kind="intra", seed=5,
+                                           n_routers=16, hosts=30))
+        requests = [{"op": "ping", "id": i} for i in range(10)]
+        requests += [{"op": "send", "n": 2, "id": 10 + i} for i in range(9)]
+        requests.append({"op": "shutdown", "id": 19})
+        stdin = io.StringIO(
+            "\n".join(json.dumps(r) for r in requests) + "\n")
+        stdout = io.StringIO()
+        answered = server.serve_stdio(stdin, stdout)
+        lines = stdout.getvalue().splitlines()
+        assert answered == 20 and len(lines) == 20
+        for i, line in enumerate(lines):
+            response = json.loads(line)
+            assert response["ok"] and response["id"] == i
+
+    def test_blank_lines_and_garbage_tolerated(self, server):
+        out = io.StringIO()
+        server.serve_lines(["", "   ", "not json", '{"op": "ping"}'], out)
+        lines = [json.loads(l) for l in out.getvalue().splitlines()]
+        assert [r["ok"] for r in lines] == [False, True]
+
+    def test_shutdown_stops_the_loop(self, server):
+        out = io.StringIO()
+        answered = server.serve_lines(
+            ['{"op": "shutdown"}', '{"op": "ping"}'], out)
+        assert answered == 1
+        server._shutdown = False           # shared fixture: re-arm
+
+    def test_tcp_transport(self):
+        server = ReproServer(build_network(kind="intra", seed=6,
+                                           n_routers=16, hosts=20))
+        port_box = []
+        ready = threading.Event()
+
+        def run():
+            server.serve_tcp(port=0, ready=lambda p: (port_box.append(p),
+                                                      ready.set()))
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert ready.wait(10)
+        with socket.create_connection(("127.0.0.1", port_box[0]),
+                                      timeout=10) as sock:
+            fh = sock.makefile("rw", encoding="utf-8")
+            for request in ({"op": "ping"}, {"op": "info"},
+                            {"op": "send", "n": 3}, {"op": "shutdown"}):
+                fh.write(json.dumps(request) + "\n")
+                fh.flush()
+                response = json.loads(fh.readline())
+                assert response["ok"], response
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+
+class TestSustainedLoad:
+    def test_thousand_sends_against_resident_2k_network(self):
+        """Acceptance: >=1000 route/send requests against a resident
+        2k-host network, every one delivered and timed."""
+        server = ReproServer(build_network(kind="intra", seed=0,
+                                           n_routers=40, hosts=2000))
+        perf.reset()
+        delivered = 0
+        for i in range(1000):
+            delivered += ok(server, op="send", n=1, id=i)["delivered"]
+        assert delivered == 1000
+        timer = perf.snapshot()["timers"]["serve.request.send"]
+        assert timer["calls"] == 1000
