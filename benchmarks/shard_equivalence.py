@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Shard-equivalence gate: N-shard == 1-shard, bit for bit.
+
+Runs the same interdomain workload (join a population, warm the oracle,
+route a batch of packets) through the sharded multiprocess engine twice
+— once with one worker, once with ``--shards N`` — and fails unless
+both runs produce *identical* delivery metrics, identical protocol
+message counters, and an identical snapshot ``state_hash``, with every
+replica of the N-shard run agreeing on that hash.
+
+This is the determinism contract of ``repro.sim.shard`` as a standalone
+CI job::
+
+    PYTHONPATH=src python benchmarks/shard_equivalence.py \
+        --hosts 2000 --shards 2
+
+The wall-clock join speedup is printed for context but never gated:
+it depends on free cores (one per shard), which CI containers rarely
+have.  Correctness must hold on any machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.sim.shard import ShardCoordinator        # noqa: E402
+
+
+def run_once(recipe: dict, n_shards: int, hosts: int, sends: int) -> dict:
+    with ShardCoordinator(recipe, n_shards) as sim:
+        t0 = time.perf_counter()
+        sim.join_hosts(hosts)
+        sim.flush_indexes()
+        join_seconds = time.perf_counter() - t0
+        sim.warm_oracle()
+        metrics = sim.run_sends(sends)
+        hashes = sim.state_hash(all_replicas=True)
+        worker = sim.metrics()
+    if len(set(hashes)) != 1:
+        raise SystemExit("FAIL: {}-shard replicas disagree on state hash: "
+                         "{}".format(n_shards, hashes))
+    return {
+        "shards": n_shards,
+        "join_seconds": round(join_seconds, 3),
+        "metrics": metrics,
+        "messages": worker["messages"],
+        "lookup_mismatches": worker["lookup_mismatches"],
+        "state_hash": hashes[0],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hosts", type=int, default=2000)
+    parser.add_argument("--sends", type=int, default=500)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--ases", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    if args.shards < 2:
+        parser.error("--shards must be >= 2 (the gate compares against 1)")
+
+    recipe = {"n_ases": args.ases, "seed": args.seed, "n_fingers": 8,
+              "strategy": "multihomed", "cache_entries": 0}
+    print("shard equivalence: {} hosts, {} sends, seed {}".format(
+        args.hosts, args.sends, args.seed))
+    base = run_once(recipe, 1, args.hosts, args.sends)
+    print("  1 shard : join {:>6.2f}s  hash {}".format(
+        base["join_seconds"], base["state_hash"][:16]))
+    test = run_once(recipe, args.shards, args.hosts, args.sends)
+    print("  {} shards: join {:>6.2f}s  hash {}  (speedup {:.2f}x on "
+          "{} cpu(s), informational)".format(
+              test["shards"], test["join_seconds"], test["state_hash"][:16],
+              base["join_seconds"] / test["join_seconds"],
+              len(os.sched_getaffinity(0))))
+
+    failures = []
+    for key in ("metrics", "messages", "lookup_mismatches", "state_hash"):
+        if base[key] != test[key]:
+            failures.append("{} differs:\n  1-shard: {}\n  {}-shard: "
+                            "{}".format(key, json.dumps(base[key],
+                                                        sort_keys=True),
+                                        args.shards,
+                                        json.dumps(test[key],
+                                                   sort_keys=True)))
+    if failures:
+        print("FAIL: sharded run diverged from the 1-shard baseline")
+        for failure in failures:
+            print(failure)
+        return 1
+    print("OK: {}-shard run is bit-identical to 1-shard "
+          "(state_hash {})".format(args.shards, base["state_hash"]))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

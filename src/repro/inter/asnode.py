@@ -84,6 +84,36 @@ class RoflAS:
         #: between two lookups all land in the same epoch.
         self.flush_epoch = 0
 
+    # -- serialization ------------------------------------------------------------
+
+    #: Candidate-index fields that are pure derived state: every one is
+    #: reconstructible from ``hosted`` by a full rebuild, so they are
+    #: dropped on serialize (rebuild-on-load, like SPF/BGP caches).  This
+    #: also keeps the canonical state hash independent of *lookup
+    #: history* — which ASes happened to flush, and how often, depends on
+    #: read traffic, not on routing state, and the sharded runtime
+    #: (:mod:`repro.sim.shard`) relies on the hash not seeing it.
+    _DERIVED_FIELDS = ("_index", "_seq", "_owner_seq", "_iv_hosted",
+                       "_contrib", "_dirty_owners", "_dirty_all")
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        for name in self._DERIVED_FIELDS:
+            state.pop(name, None)
+        state["flush_epoch"] = 0
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._index = ColumnarRingIndex(self.space)
+        self._seq = itertools.count()
+        self._owner_seq = {}
+        self._iv_hosted = {vn.id.value: vn for vn in self.hosted.values()}
+        self._contrib = {}
+        self._dirty_owners = set()
+        self._dirty_all = True
+        self.flush_epoch = 0
+
     # -- hosting -----------------------------------------------------------------
 
     def host(self, vn: InterVirtualNode) -> None:

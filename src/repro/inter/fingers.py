@@ -85,21 +85,30 @@ def acquire_fingers(net: "InterDomainNetwork", vn: InterVirtualNode,
     if n_fingers <= 0:
         return 0
     with perf.timed("inter.join.fingers"):
-        return _acquire_fingers(net, vn, n_fingers, base_bits)
+        fingers, charged = select_fingers(net, vn, n_fingers, base_bits)
+        apply_fingers(net, vn, fingers, charged)
+        return charged
 
 
-def _acquire_fingers(net: "InterDomainNetwork", vn: InterVirtualNode,
-                     n_fingers: int, base_bits: int) -> int:
+def select_fingers(net: "InterDomainNetwork", vn: InterVirtualNode,
+                   n_fingers: int, base_bits: int = BASE_BITS
+                   ) -> Tuple[List[ASPointer], int]:
+    """Choose ``vn``'s fingers without installing them or charging stats.
+
+    Pure with respect to network state: reads the global ring, the
+    id-owner oracle, and the memoised policy-path profile; draws from a
+    per-call ``derive_rng`` stream (no registry stream is consumed).  The
+    sharded runtime computes this on the owning shard only and ships the
+    result to every replica; :func:`apply_fingers` installs it.  Returns
+    ``(fingers, message_cost)`` — the cost is the three-phase scaffolding
+    (~2 messages per up-chain hop) plus one insertion notification per
+    acquired finger, exactly what the inline path charged before.
+    """
     rng = derive_rng(net.seed, "fingers", vn.id.value)
     fingers: List[ASPointer] = []
-    charged = 0
 
-    # Three-phase scaffolding: the request routed toward our own ID plus
-    # the return leg, ~2 messages per up-chain hop.
     depth = len(net.policy.hierarchy.up_chain(vn.home_as))
-    scaffold = 2 * max(1, depth)
-    net.stats.charge_hops(scaffold, "join")
-    charged += scaffold
+    charged = 2 * max(1, depth)
 
     digits = 1 << base_bits
     row = 0
@@ -128,13 +137,18 @@ def _acquire_fingers(net: "InterDomainNetwork", vn: InterVirtualNode,
                 continue
             fingers.append(ASPointer(chosen.id, chosen.home_as, tuple(route),
                                      level=level, kind="finger"))
-            net.stats.charge_hops(1, "join")  # insertion notification
-            charged += 1
+            charged += 1  # insertion notification
         row += 1
+    return fingers, charged
 
-    vn.fingers = fingers
+
+def apply_fingers(net: "InterDomainNetwork", vn: InterVirtualNode,
+                  fingers: List[ASPointer], charged: int,
+                  category: str = "join") -> None:
+    """Install a selected finger table and charge its message cost."""
+    vn.fingers = list(fingers)
     net.ases[vn.home_as].mark_dirty(vn)
-    return charged
+    net.stats.charge_hops(charged, category)
 
 
 def _pick_nearest(net: "InterDomainNetwork", vn: InterVirtualNode,

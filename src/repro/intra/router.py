@@ -95,6 +95,33 @@ class RoflRouter:
         #: Monotonic flush-epoch counter (see :class:`RoflAS.flush_epoch`).
         self.flush_epoch = 0
 
+    # -- serialization ------------------------------------------------------------
+
+    #: Derived candidate-index state, rebuilt from ``vn_table`` on load
+    #: (mirrors :class:`repro.inter.asnode.RoflAS`): dropping it keeps
+    #: snapshots lean and the canonical state hash independent of lookup
+    #: history (flush counts depend on read traffic, not routing state).
+    _DERIVED_FIELDS = ("_index", "_seq", "_owner_seq", "_iv_table",
+                       "_contrib", "_dirty_owners", "_dirty_all")
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        for name in self._DERIVED_FIELDS:
+            state.pop(name, None)
+        state["flush_epoch"] = 0
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._index = ColumnarRingIndex(self.space)
+        self._seq = itertools.count()
+        self._owner_seq = {}
+        self._iv_table = {vn.id.value: vn for vn in self.vn_table.values()}
+        self._contrib = {}
+        self._dirty_owners = set()
+        self._dirty_all = True
+        self.flush_epoch = 0
+
     # -- virtual-node management ------------------------------------------------
 
     def register_virtual_node(self, vn: VirtualNode) -> None:

@@ -293,27 +293,65 @@ class ReproServer:
         return self.serve_lines(stdin or sys.stdin, stdout or sys.stdout)
 
     def serve_tcp(self, host: str = "127.0.0.1", port: int = 0,
-                  ready=None) -> None:
+                  ready=None, timeout: Optional[float] = None) -> None:
         """Serve line-delimited JSON over TCP until a ``shutdown`` op.
 
         ``ready(actual_port)`` is called once the socket is bound —
-        tests use it to learn an ephemeral port.
+        tests use it to learn an ephemeral port.  ``timeout`` bounds how
+        long one connection may sit idle mid-session (seconds); an idle
+        or vanished client is dropped and the server moves on to the
+        next connection instead of wedging.
         """
         server_self = self
+        conn_timeout = timeout
 
         class Handler(socketserver.StreamRequestHandler):
+            # BaseRequestHandler.setup() applies this to the connection
+            # socket, so a silent client cannot hold the server forever.
+            timeout = conn_timeout
+
             def handle(self) -> None:
                 reader = (raw.decode("utf-8", "replace")
                           for raw in self.rfile)
                 out = _SocketWriter(self.wfile)
-                server_self.serve_lines(reader, out)
+                try:
+                    server_self.serve_lines(reader, out)
+                except (BrokenPipeError, ConnectionResetError,
+                        TimeoutError):
+                    # The client hung up mid-request (or idled past the
+                    # timeout).  Abandon this connection quietly; the
+                    # resident network is untouched and the accept loop
+                    # continues.
+                    perf.counter("serve.disconnects")
 
-        with socketserver.TCPServer((host, port), Handler) as tcp:
-            tcp.allow_reuse_address = True
+        with _ReuseAddrTCPServer((host, port), Handler) as tcp:
             if ready is not None:
                 ready(tcp.server_address[1])
             while not self._shutdown:
                 tcp.handle_request()
+
+
+class _ReuseAddrTCPServer(socketserver.TCPServer):
+    """TCPServer that sets ``SO_REUSEADDR`` *before* binding.
+
+    ``TCPServer.__init__`` binds in the constructor, so flipping
+    ``allow_reuse_address`` on the instance afterwards is a no-op — the
+    flag must be a class attribute to take effect, or a restart within
+    TIME_WAIT of a previous run fails with ``EADDRINUSE``.
+    """
+
+    allow_reuse_address = True
+
+    def handle_error(self, request, client_address) -> None:
+        # Abrupt disconnects escaping the handler (e.g. during the
+        # response flush in ``finish()``) are routine churn, not server
+        # errors — don't spew a traceback for them.
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (BrokenPipeError, ConnectionResetError,
+                            TimeoutError)):
+            perf.counter("serve.disconnects")
+            return
+        super().handle_error(request, client_address)
 
 
 class _SocketWriter:
@@ -327,3 +365,84 @@ class _SocketWriter:
 
     def flush(self) -> None:
         self.wfile.flush()
+
+
+class ShardedReproServer(ReproServer):
+    """The serve protocol over a sharded simulation instead of one net.
+
+    The resident "network" is a :class:`repro.sim.shard.ShardCoordinator`
+    — N worker processes holding lock-step replicas.  Bulk operations
+    (``join``, ``send``) and observers (``metrics``, ``state_hash``,
+    ``save``, ``info``) forward to the coordinator; operations that need
+    an in-process network object (``route``, ``leave``, ``workload``,
+    ``verify``) reject cleanly with a pointer at unsharded mode.
+    """
+
+    def __init__(self, sim):
+        super().__init__(net=None)
+        self.sim = sim
+
+    @property
+    def kind(self) -> str:
+        return "inter"
+
+    def _unsharded_only(self, op: str):
+        raise ServeError("op {!r} is not available with --shards; "
+                         "run an unsharded server".format(op))
+
+    def _op_info(self, request: Dict) -> Dict:
+        info = self.sim.info()
+        info["kind"] = self.kind
+        info["requests_served"] = self.requests_served
+        return info
+
+    def _op_join(self, request: Dict) -> Dict:
+        n = int(request.get("n", 1))
+        if n < 1:
+            raise ServeError("n must be >= 1")
+        joined = self.sim.join_hosts(n)
+        return {"joined": joined, "total_hosts": self.sim.hosts_joined}
+
+    def _op_send(self, request: Dict) -> Dict:
+        n = int(request.get("n", 1))
+        if n < 1:
+            raise ServeError("n must be >= 1")
+        if "src" in request or "dst" in request:
+            raise ServeError("send routes random pairs; op 'route' is "
+                             "not available with --shards")
+        return self.sim.run_sends(n)
+
+    def _op_metrics(self, request: Dict) -> Dict:
+        merged = self.sim.merged_perf()
+        merged.merge(perf.PERF)  # fold in coordinator-side serve timers
+        worker = self.sim.metrics()
+        return {
+            "stats": worker["snapshot"],
+            "lookup_mismatches": worker["lookup_mismatches"],
+            "perf": merged.snapshot(),
+            "requests_served": self.requests_served,
+        }
+
+    def _op_save(self, request: Dict) -> Dict:
+        path = request.get("path")
+        if not path:
+            raise ServeError("save needs a 'path'")
+        digest = self.sim.save(path, meta={"source": "serve",
+                                           **request.get("meta", {})})
+        return {"path": path, "state_hash": digest}
+
+    def _op_state_hash(self, request: Dict) -> Dict:
+        self.sim.flush_indexes()
+        return {"state_hash": self.sim.state_hash()}
+
+    def _op_route(self, request: Dict) -> Dict:
+        self._unsharded_only("route")
+
+    def _op_leave(self, request: Dict) -> Dict:
+        self._unsharded_only("leave")
+
+    def _op_workload(self, request: Dict) -> Dict:
+        self._unsharded_only("workload")
+
+    def _op_verify(self, request: Dict) -> Dict:
+        self._unsharded_only("verify")

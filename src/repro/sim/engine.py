@@ -118,7 +118,10 @@ class EventLoop:
             if next_time is None:
                 break
             if until is not None and next_time > until:
-                self.now = until
+                # Advance to the bound, never backwards: ``run(until=t)``
+                # with ``t < now`` must not rewind the clock — the
+                # past-scheduling guards assume ``now`` is monotone.
+                self.now = max(self.now, until)
                 break
             self.step()
             ran += 1

@@ -1,0 +1,668 @@
+"""Sharded multiprocess simulation with a deterministic cross-shard merge.
+
+The interdomain simulator's cost profile splits cleanly in two:
+
+* **installs** — ring inserts, successor/predecessor pointer setup, bloom
+  updates, RNG draws.  Cheap, oracle-driven, and *every* replica can
+  execute them identically from the shared seed;
+* **walks** — the honest message-charged scoped lookups and the
+  proximity finger selection.  Expensive (the large majority of join
+  time at 10k hosts), but *read-only* against routing state: their only
+  outputs are message/traversal charges, a mismatch verdict, and a
+  selected finger table.
+
+So instead of partitioning mutable state (which would force a consistency
+protocol through every ring insert), each worker process holds a **full
+replica** and executes all installs in lock-step, while the expensive
+walks of an operation run **only on the shard that owns it** (by the home
+AS of the joining/sending host, under :class:`ShardPlan`'s balanced
+partition).  Walk outputs travel as *effects* — plain picklable records —
+over ``multiprocessing`` pipes to the coordinator, which merges them into
+one canonical sequence-ordered stream and broadcasts it back; every
+replica applies the merged stream at the next window barrier.
+
+Conservative synchronization (SimBricks-style): each worker drives its
+own :class:`repro.sim.engine.EventLoop`; a window spans exactly one
+*lookahead* of virtual time — the minimum latency of any ghost edge (AS
+link crossing shards) — so nothing a shard computes inside a window could
+have influenced another shard before the barrier at which its effects
+become visible.
+
+Determinism argument (the non-negotiable property):
+
+1. every replica performs the same installs and the same RNG draws in
+   the same order, so replica state before each window's walks is
+   identical on every shard and for every shard count;
+2. a walk is a deterministic read-only function of replica state, so its
+   effect record does not depend on *which* worker computed it;
+3. the merged effect stream is ordered by the global operation sequence
+   number, so barrier application is identical everywhere;
+4. derived read-path state (the columnar candidate indexes, flush
+   epochs, policy/BGP memos) is excluded from serialization by each
+   owner's ``__getstate__``.
+
+(1)–(4) together make the delivery/stretch/overhead metrics and the
+snapshot ``state_hash`` of an N-shard run bit-identical to the 1-shard
+run — which CI gates (2-shard vs 1-shard at 2k hosts) and the scaling
+bench records per row (``--shards``).
+
+Sharded runs require ``cache_entries == 0`` (the scaling bench's
+default): pointer-cache fills would make walks mutate state on one
+replica only.  All other state mutated by healthy-network routing is the
+scratch stats collector swapped in around each walk.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.sim.engine import EventLoop
+from repro.sim.stats import StatsCollector
+from repro.util import perf
+from repro.util.perf import PerfRegistry
+
+#: Operations per synchronization window.  One window spans one lookahead
+#: of virtual time; a larger window amortises the two pipe round-trips
+#: per barrier, a smaller one bounds how much finger state is deferred.
+DEFAULT_WINDOW_OPS = 512
+
+
+class ShardError(RuntimeError):
+    """A worker failed, desynchronized, or the run was misconfigured."""
+
+
+# ---------------------------------------------------------------------------
+# Partition plan
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic N-way partition of the AS set plus its ghost view.
+
+    ``shard_of`` maps every AS to its owning shard; ``ghost_edges`` are
+    the AS links whose endpoints live on different shards — the seams
+    cross-shard traffic crosses — and ``lookahead`` is the minimum ghost
+    link latency, the conservative-sync window span.
+    """
+
+    n_shards: int
+    shard_of: Dict[Hashable, int]
+    ghost_edges: Tuple[Tuple[Hashable, Hashable], ...]
+    lookahead: float
+
+    @classmethod
+    def from_graph(cls, asg, n_shards: int) -> "ShardPlan":
+        if n_shards < 1:
+            raise ShardError("n_shards must be >= 1, got {}".format(n_shards))
+        # Greedy balanced partition over expected host load: heaviest
+        # AS first onto the lightest shard.  Deterministic: ties break
+        # on AS name, then on shard index.
+        order = sorted(asg.ases(), key=lambda a: (-asg.hosts(a), str(a)))
+        loads = [0.0] * n_shards
+        shard_of: Dict[Hashable, int] = {}
+        for asn in order:
+            target = min(range(n_shards), key=lambda i: (loads[i], i))
+            shard_of[asn] = target
+            # +1 spreads host-free transit cores across shards too.
+            loads[target] += asg.hosts(asn) + 1.0
+        ghosts = sorted(
+            (tuple(sorted((a, b), key=str))
+             for a, b, _rel in asg.links() if shard_of[a] != shard_of[b]),
+            key=lambda edge: (str(edge[0]), str(edge[1])))
+        lookahead = asg.min_link_latency(ghosts if ghosts else None)
+        return cls(n_shards=n_shards, shard_of=shard_of,
+                   ghost_edges=tuple(ghosts), lookahead=lookahead)
+
+    def owner(self, asn: Hashable) -> int:
+        return self.shard_of[asn]
+
+
+# ---------------------------------------------------------------------------
+# Walk capture (runs inside worker processes)
+# ---------------------------------------------------------------------------
+
+@contextmanager
+def _scratch_stats(net):
+    """Swap a scratch collector in so a walk's charges are captured as an
+    effect instead of landing on the replica's canonical stats."""
+    scratch = StatsCollector()
+    saved = net.stats
+    net.stats = scratch
+    try:
+        yield scratch
+    finally:
+        net.stats = saved
+
+
+def _empty_join_effect() -> Dict[str, Any]:
+    return {"kind": "join", "messages": Counter(), "traversals": Counter(),
+            "mismatches": 0, "fingers": None, "finger_charge": 0}
+
+
+class WalkContext:
+    """Per-join hook handed to :func:`repro.inter.canon.join_inter`.
+
+    On the owning shard (``compute=True``) it runs the honest scoped
+    lookups under a scratch collector and accumulates their charges into
+    an effect record; on every replica it captures the join's operation
+    record and virtual node so the barrier can attribute the merged
+    effect back to them.
+    """
+
+    __slots__ = ("compute", "effect", "op_record", "vn", "n_fingers")
+
+    def __init__(self, compute: bool):
+        self.compute = compute
+        self.effect = _empty_join_effect()
+        self.op_record: Optional[Dict] = None
+        self.vn = None
+        self.n_fingers = 0
+
+    def lookup(self, net, vn, level, oracle_pred) -> None:
+        """Run one level's honest predecessor walk, capturing charges."""
+        from repro.inter.canon import _scoped_lookup
+        with _scratch_stats(net) as scratch:
+            pred = _scoped_lookup(net, vn, level)
+        if pred is None or pred.id != oracle_pred.id:
+            self.effect["mismatches"] += 1
+        self.effect["messages"].update(scratch.messages)
+        self.effect["traversals"].update(scratch.router_traversals)
+
+    def note_join(self, op_record: Dict, vn, n_fingers: int) -> None:
+        self.op_record = op_record
+        self.vn = vn
+        self.n_fingers = n_fingers
+
+
+# ---------------------------------------------------------------------------
+# Worker (child process)
+# ---------------------------------------------------------------------------
+
+def build_replica(recipe: Dict[str, Any]):
+    """Build one full-replica interdomain network from a recipe dict.
+
+    Every worker calls this with the identical recipe, so all replicas
+    start from the same seed and the same synthesized topology.
+    """
+    from repro.inter.network import InterDomainNetwork
+    from repro.inter.policy import JoinStrategy
+    from repro.topology.asgraph import synthetic_as_graph
+
+    cache_entries = int(recipe.get("cache_entries", 0))
+    if cache_entries != 0:
+        raise ShardError(
+            "sharded runs require cache_entries=0: pointer-cache fills "
+            "during walks would mutate state on the owning replica only")
+    peering_mode = recipe.get("peering_mode", "virtual_as")
+    if peering_mode != "virtual_as":
+        raise ShardError("sharded runs support peering_mode='virtual_as' "
+                         "only, got {!r}".format(peering_mode))
+    asg = synthetic_as_graph(n_ases=int(recipe.get("n_ases", 100)),
+                             seed=int(recipe.get("seed", 0)))
+    strategy = JoinStrategy(recipe.get("strategy",
+                                       JoinStrategy.MULTIHOMED.value))
+    return InterDomainNetwork(asg, n_fingers=int(recipe.get("n_fingers", 8)),
+                              seed=int(recipe.get("seed", 0)),
+                              strategy=strategy, cache_entries=0)
+
+
+class ShardWorker:
+    """One shard: a full replica plus its event loop and command pump."""
+
+    def __init__(self, conn, recipe: Dict[str, Any], index: int,
+                 n_shards: int):
+        self.conn = conn
+        self.index = index
+        self.n_shards = n_shards
+        self.net = build_replica(recipe)
+        self.plan = ShardPlan.from_graph(self.net.asg, n_shards)
+        self.loop = EventLoop()
+        self._op_seq = 0
+        #: seq -> (op record, virtual node) for joins awaiting a barrier.
+        self._pending: Dict[int, tuple] = {}
+        self._out: List[Dict[str, Any]] = []
+
+    # -- operations ---------------------------------------------------------
+
+    def _next_planned_host(self):
+        host = self.net.next_planned_host()
+        guard = 0
+        while not self.net.as_is_up(host.attach_at) and guard < 64:
+            host = self.net.next_planned_host()
+            guard += 1
+        return host
+
+    def _do_join(self, seq: int) -> None:
+        from repro.inter.fingers import select_fingers
+        net = self.net
+        host = self._next_planned_host()
+        ctx = WalkContext(compute=self.plan.owner(host.attach_at)
+                          == self.index)
+        net.join_host(host, walks=ctx)
+        if ctx.compute:
+            if ctx.n_fingers:
+                with perf.timed("inter.join.fingers"):
+                    fingers, charge = select_fingers(net, ctx.vn,
+                                                     ctx.n_fingers)
+                ctx.effect["fingers"] = fingers
+                ctx.effect["finger_charge"] = charge
+            effect = ctx.effect
+            effect["seq"] = seq
+            effect["messages"] = dict(effect["messages"])
+            effect["traversals"] = dict(effect["traversals"])
+            self._out.append(effect)
+        self._pending[seq] = (ctx.op_record, ctx.vn)
+
+    def _do_send(self, seq: int) -> None:
+        net = self.net
+        a, b = net.random_host_pair()
+        src_vn = net.hosts[a]
+        if self.plan.owner(src_vn.home_as) != self.index:
+            return
+        with _scratch_stats(net) as scratch:
+            result = net.send(a, b)
+        self._out.append({
+            "kind": "send", "seq": seq,
+            "messages": dict(scratch.messages),
+            "traversals": dict(scratch.router_traversals),
+            "delivered": result.delivered,
+            "hops": result.hops,
+            "optimal_hops": result.optimal_hops,
+            "pointer_hops": result.pointer_hops,
+            "used_cache": result.used_cache,
+        })
+
+    def _run_window(self, kind: str, count: int) -> List[Dict[str, Any]]:
+        """Schedule ``count`` operations inside one lookahead of virtual
+        time and drain the event loop to the window barrier."""
+        self._out = []
+        op = self._do_join if kind == "join" else self._do_send
+        start = self.loop.now
+        span = self.plan.lookahead
+        for i in range(count):
+            seq = self._op_seq
+            self._op_seq += 1
+            at = start + span * (i + 1) / (count + 1)
+            self.loop.schedule_at(at, (lambda s=seq: op(s)))
+        barrier = start + span
+        self.loop.schedule_at(barrier, lambda: None)
+        self.loop.run(until=barrier)
+        return self._out
+
+    def _localize_fingers(self, vn, fingers: List) -> List:
+        """Rebind shipped fingers to this replica's own objects.
+
+        The canonical state hash encodes shared references as back-refs,
+        so a finger whose ``level`` is a pickled *copy* of a replica-local
+        ``VirtualAS``, or whose ``as_route`` is a copy of a memoised
+        policy-path tuple, would hash differently from the same finger
+        built in-process.  Selection only picks levels from
+        ``vn.joined_levels`` (value equality) and routes from the policy
+        memo (warmed identically on every replica by the installs), so
+        both identities are recoverable locally — and the route rebuild
+        doubles as a desync check.
+        """
+        from dataclasses import replace
+        net = self.net
+        local = {level: level for level in vn.joined_levels
+                 if level is not None}
+        out = []
+        for finger in fingers:
+            level = local.get(finger.level, finger.level)
+            route = net.policy.policy_path(vn.home_as, finger.dest_as,
+                                           scope=level)
+            if route is None:
+                route = net.policy.policy_path(vn.home_as, finger.dest_as)
+            if route is None or tuple(route) != finger.as_route:
+                raise ShardError(
+                    "finger route desync: local policy path {!r} != "
+                    "shipped {!r}".format(route, finger.as_route))
+            out.append(replace(finger, level=level, as_route=tuple(route)))
+        return out
+
+    def _apply_effects(self, effects: List[Dict[str, Any]]) -> None:
+        """The barrier: fold the merged effect stream into this replica."""
+        from repro.inter.fingers import apply_fingers
+        net = self.net
+        for effect in effects:
+            if effect["kind"] == "join":
+                record, vn = self._pending[effect["seq"]]
+                if effect["fingers"] is not None:
+                    with perf.timed("inter.join.fingers.apply"):
+                        fingers = self._localize_fingers(
+                            vn, effect["fingers"])
+                        apply_fingers(net, vn, fingers,
+                                      effect["finger_charge"])
+                    record["messages"] += effect["finger_charge"]
+                net.stats.absorb(effect["messages"], effect["traversals"],
+                                 into_op=record)
+                net.lookup_mismatches += effect["mismatches"]
+            else:
+                net.stats.absorb(effect["messages"], effect["traversals"])
+        self._pending.clear()
+
+    # -- command pump -------------------------------------------------------
+
+    def run(self) -> None:
+        self.conn.send({"ready": True, "shard": self.index,
+                        "lookahead": self.plan.lookahead,
+                        "ghost_edges": len(self.plan.ghost_edges),
+                        "owned_ases": sum(
+                            1 for s in self.plan.shard_of.values()
+                            if s == self.index)})
+        while True:
+            cmd = self.conn.recv()
+            name = cmd["cmd"]
+            if name == "stop":
+                self.conn.send({"ok": True})
+                return
+            if name == "join_window":
+                effects = self._run_window("join", cmd["count"])
+                self.conn.send({"effects": effects})
+            elif name == "send_window":
+                effects = self._run_window("send", cmd["count"])
+                self.conn.send({"effects": effects})
+            elif name == "apply":
+                self._apply_effects(cmd["effects"])
+                self.conn.send({"ok": True})
+            elif name == "warm":
+                with perf.timed("bench.oracle_warm"):
+                    self.net.bgp.warm()
+                self.conn.send({"ok": True})
+            elif name == "flush":
+                self.net.flush_indexes()
+                self.conn.send({"ok": True})
+            elif name == "perf_reset":
+                perf.reset()
+                self.conn.send({"ok": True})
+            elif name == "metrics":
+                self.conn.send({
+                    "messages": dict(self.net.stats.messages),
+                    "snapshot": self.net.stats.snapshot(),
+                    "operations": len(self.net.stats.operations),
+                    "lookup_mismatches": self.net.lookup_mismatches,
+                    "hosts": len(self.net.hosts),
+                })
+            elif name == "state_hash":
+                from repro import snapshot
+                self.conn.send({"state_hash": snapshot.state_hash(self.net)})
+            elif name == "save":
+                from repro import snapshot
+                digest = snapshot.save(self.net, cmd["path"],
+                                       meta=cmd.get("meta"))
+                self.conn.send({"state_hash": digest})
+            elif name == "info":
+                self.conn.send({
+                    "seed": self.net.seed,
+                    "hosts": len(self.net.hosts),
+                    "ases": len(self.net.ases),
+                    "rng_streams": len(self.net.rngs),
+                    "peering_mode": self.net.peering_mode,
+                    "virtual_now": self.loop.now,
+                })
+            elif name == "perf":
+                reg = perf.PERF
+                prefix = "shard.{}.".format(self.index)
+                reg.gauge(prefix + "virtual_now", self.loop.now)
+                for timer in ("inter.route.lookup", "inter.join.fingers"):
+                    cell = reg.timers.get(timer)
+                    if cell is not None:
+                        reg.gauge(prefix + timer + ".seconds",
+                                  round(cell[1], 6))
+                self.conn.send({"perf": reg})
+            else:
+                raise ShardError("unknown command {!r}".format(name))
+
+
+def _worker_main(conn, recipe: Dict[str, Any], index: int,
+                 n_shards: int) -> None:
+    # Under the fork start method the child inherits the parent's global
+    # perf registry mid-flight; a worker's report must cover its own
+    # lifetime only (and match what a spawn start would produce).
+    perf.reset()
+    try:
+        ShardWorker(conn, recipe, index, n_shards).run()
+    except EOFError:
+        pass  # coordinator went away; nothing to report to
+    except Exception:
+        try:
+            conn.send({"error": traceback.format_exc()})
+        except (OSError, ValueError):
+            pass
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Coordinator (parent process)
+# ---------------------------------------------------------------------------
+
+class ShardCoordinator:
+    """Drives N shard workers through lock-step windows and merges their
+    effects into one canonical stream (the cross-shard message proxy).
+
+    The coordinator holds **no replica**: worker 0's replica is the
+    canonical state for hashes, snapshots, and stats (every replica is
+    bit-identical at each barrier, so the choice is arbitrary — the
+    test-suite asserts the equality across all workers).
+
+    Usage::
+
+        with ShardCoordinator({"n_ases": 100, "seed": 0}, n_shards=4) as sim:
+            sim.join_hosts(10_000)
+            sim.warm_oracle()
+            metrics = sim.run_sends(2_000)
+            digest = sim.state_hash()
+    """
+
+    def __init__(self, recipe: Dict[str, Any], n_shards: int,
+                 window_ops: int = DEFAULT_WINDOW_OPS):
+        if n_shards < 1:
+            raise ShardError("n_shards must be >= 1")
+        if window_ops < 1:
+            raise ShardError("window_ops must be >= 1")
+        self.recipe = dict(recipe)
+        self.n_shards = n_shards
+        self.window_ops = window_ops
+        self.lookahead: Optional[float] = None
+        self.hosts_joined = 0
+        self.sends_run = 0
+        self._conns: List[Any] = []
+        self._procs: List[Any] = []
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "ShardCoordinator":
+        if self._started:
+            return self
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            ctx = multiprocessing.get_context("spawn")
+        for index in range(self.n_shards):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(target=_worker_main,
+                               args=(child, self.recipe, index,
+                                     self.n_shards),
+                               daemon=True,
+                               name="rofl-shard-{}".format(index))
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+        self._started = True
+        for index, conn in enumerate(self._conns):
+            ready = self._recv(index)
+            if not ready.get("ready"):
+                raise ShardError("shard {} failed to start: {!r}".format(
+                    index, ready))
+            self.lookahead = ready["lookahead"]
+        return self
+
+    def close(self) -> None:
+        if not self._started:
+            return
+        for index, conn in enumerate(self._conns):
+            try:
+                conn.send({"cmd": "stop"})
+                conn.recv()
+            except (OSError, EOFError, BrokenPipeError):
+                pass
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=5)
+        self._conns, self._procs = [], []
+        self._started = False
+
+    def __enter__(self) -> "ShardCoordinator":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _recv(self, index: int) -> Dict[str, Any]:
+        try:
+            response = self._conns[index].recv()
+        except EOFError:
+            raise ShardError(
+                "shard {} died (pipe closed); exit code {!r}".format(
+                    index, self._procs[index].exitcode))
+        if isinstance(response, dict) and "error" in response:
+            raise ShardError("shard {} failed:\n{}".format(
+                index, response["error"]))
+        return response
+
+    def _broadcast(self, cmd: Dict[str, Any]) -> List[Dict[str, Any]]:
+        """Send one command to every worker, then collect every reply."""
+        for conn in self._conns:
+            conn.send(cmd)
+        return [self._recv(index) for index in range(self.n_shards)]
+
+    def _ask(self, index: int, cmd: Dict[str, Any]) -> Dict[str, Any]:
+        self._conns[index].send(cmd)
+        return self._recv(index)
+
+    def _merge_effects(self, replies: List[Dict[str, Any]],
+                       expected: int) -> List[Dict[str, Any]]:
+        """Canonical merge: exactly one effect per owned operation,
+        ordered by the global operation sequence number."""
+        by_seq: Dict[int, Dict[str, Any]] = {}
+        for index, reply in enumerate(replies):
+            for effect in reply["effects"]:
+                if effect["seq"] in by_seq:
+                    raise ShardError(
+                        "operation {} claimed by two shards — partition "
+                        "desync".format(effect["seq"]))
+                by_seq[effect["seq"]] = effect
+        if expected and len(by_seq) != expected:
+            raise ShardError(
+                "window produced {} effects for {} operations — ownership "
+                "desync".format(len(by_seq), expected))
+        return [by_seq[seq] for seq in sorted(by_seq)]
+
+    def _run_phase(self, kind: str, total: int) -> List[Dict[str, Any]]:
+        self.start()
+        merged_all: List[Dict[str, Any]] = []
+        done = 0
+        while done < total:
+            count = min(self.window_ops, total - done)
+            replies = self._broadcast({"cmd": kind + "_window",
+                                       "count": count})
+            merged = self._merge_effects(replies, count)
+            self._broadcast({"cmd": "apply", "effects": merged})
+            merged_all.extend(merged)
+            done += count
+        return merged_all
+
+    # -- public API ---------------------------------------------------------
+
+    def join_hosts(self, n: int) -> int:
+        """Join ``n`` hosts across all shards; returns hosts joined."""
+        with perf.timed("shard.join_phase"):
+            self._run_phase("join", n)
+        self.hosts_joined += n
+        return n
+
+    def run_sends(self, n: int) -> Dict[str, Any]:
+        """Route ``n`` random pairs; returns serve-style delivery metrics."""
+        with perf.timed("shard.send_phase"):
+            effects = self._run_phase("send", n)
+        self.sends_run += n
+        delivered = cached = 0
+        hops = stretch_sum = 0.0
+        for effect in effects:
+            if effect["delivered"]:
+                delivered += 1
+                hops += effect["hops"]
+                if effect["optimal_hops"] > 0:
+                    stretch_sum += effect["hops"] / effect["optimal_hops"]
+            cached += bool(effect["used_cache"])
+        return {
+            "sent": n,
+            "delivered": delivered,
+            "cache_hits": cached,
+            "mean_hops": round(hops / delivered, 4) if delivered else 0.0,
+            "mean_stretch": round(stretch_sum / delivered, 4)
+            if delivered else 0.0,
+        }
+
+    def warm_oracle(self) -> None:
+        """Warm the BGP baseline tables on every replica (outside any
+        phase timing, like the bench's ``warm_fn``)."""
+        self._broadcast({"cmd": "warm"})
+
+    def flush_indexes(self) -> None:
+        self._broadcast({"cmd": "flush"})
+
+    def perf_reset(self) -> None:
+        self._broadcast({"cmd": "perf_reset"})
+
+    def metrics(self) -> Dict[str, Any]:
+        """Canonical protocol metrics from the worker-0 replica."""
+        return self._ask(0, {"cmd": "metrics"})
+
+    def info(self) -> Dict[str, Any]:
+        out = self._ask(0, {"cmd": "info"})
+        out["shards"] = self.n_shards
+        out["lookahead"] = self.lookahead
+        return out
+
+    def state_hash(self, all_replicas: bool = False):
+        """Canonical state hash (worker 0), or every replica's hash.
+
+        ``all_replicas=True`` is the lock-step invariant probe: all N
+        hashes must be equal, or the replicas have diverged.
+        """
+        if not all_replicas:
+            return self._ask(0, {"cmd": "state_hash"})["state_hash"]
+        return [reply["state_hash"]
+                for reply in self._broadcast({"cmd": "state_hash"})]
+
+    def save(self, path: str, meta: Optional[Dict[str, Any]] = None) -> str:
+        """Snapshot the canonical replica to ``path``; returns its hash."""
+        full_meta = {"source": "shard", "shards": self.n_shards,
+                     **(meta or {})}
+        return self._ask(0, {"cmd": "save", "path": path,
+                             "meta": full_meta})["state_hash"]
+
+    def merged_perf(self) -> PerfRegistry:
+        """Every worker's perf registry folded into one (plus per-shard
+        gauges), for bench rows and the serve ``metrics`` op."""
+        merged = PerfRegistry()
+        for reply in self._broadcast({"cmd": "perf"}):
+            merged.merge(reply["perf"])
+        if self.lookahead is not None:
+            merged.gauge("shard.count", self.n_shards)
+            merged.gauge("shard.lookahead", self.lookahead)
+        return merged

@@ -66,17 +66,31 @@ class ASGraph:
         self._rel_cache.clear()
 
     def add_customer_provider(self, customer: Hashable, provider: Hashable,
-                              backup: bool = False) -> None:
+                              backup: bool = False,
+                              latency: float = 1.0) -> None:
         """Add a transit link: ``customer`` buys transit from ``provider``."""
         self._check_nodes(customer, provider)
+        self._check_latency(latency)
         rel = Relationship.BACKUP if backup else Relationship.CUSTOMER_PROVIDER
-        self.graph.add_edge(customer, provider, rel=rel, provider=provider)
+        self.graph.add_edge(customer, provider, rel=rel, provider=provider,
+                            latency=latency)
         self._rel_cache.clear()
 
-    def add_peering(self, a: Hashable, b: Hashable) -> None:
+    def add_peering(self, a: Hashable, b: Hashable,
+                    latency: float = 1.0) -> None:
         self._check_nodes(a, b)
-        self.graph.add_edge(a, b, rel=Relationship.PEER, provider=None)
+        self._check_latency(latency)
+        self.graph.add_edge(a, b, rel=Relationship.PEER, provider=None,
+                            latency=latency)
         self._rel_cache.clear()
+
+    @staticmethod
+    def _check_latency(latency: float) -> None:
+        if latency <= 0:
+            raise ValueError(
+                "link latency must be positive (it bounds the sharded "
+                "simulator's conservative-sync lookahead), got "
+                "{!r}".format(latency))
 
     def _check_nodes(self, *asns: Hashable) -> None:
         for asn in asns:
@@ -164,6 +178,31 @@ class ASGraph:
     def links(self) -> Iterable[Tuple[Hashable, Hashable, Relationship]]:
         for a, b, data in self.graph.edges(data=True):
             yield a, b, data["rel"]
+
+    def link_latency(self, a: Hashable, b: Hashable) -> float:
+        """Propagation latency of one AS link, in virtual time units.
+
+        Graphs built before latencies existed (older snapshots) default
+        every link to 1.0 — one virtual time unit per AS hop, matching
+        how the message-charging simulation counts hops.
+        """
+        return self.graph.edges[a, b].get("latency", 1.0)
+
+    def min_link_latency(self, edges: Optional[Iterable[Tuple[Hashable,
+                                                              Hashable]]]
+                         = None) -> float:
+        """The smallest link latency over ``edges`` (default: all links).
+
+        This is the conservative-synchronization *lookahead*: no message
+        emitted at virtual time ``t`` can influence another AS before
+        ``t + lookahead``, so shards may run ``lookahead`` of virtual
+        time without hearing from each other.  Returns 1.0 for an edge
+        set that is empty (a single-shard partition has no ghost edges).
+        """
+        if edges is None:
+            edges = self.graph.edges
+        latencies = [self.link_latency(a, b) for a, b in edges]
+        return min(latencies) if latencies else 1.0
 
     def multihomed(self) -> List[Hashable]:
         return [asn for asn in self.graph

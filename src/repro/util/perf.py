@@ -165,6 +165,31 @@ class PerfRegistry:
                                  for name, hist in self.histograms.items()}
         return out
 
+    def merge(self, other: "PerfRegistry") -> None:
+        """Fold another registry into this one (sharded-run reporting).
+
+        Counters and timer cells (``[calls, seconds]``) add; histograms
+        concatenate their raw samples; gauges are last-write-wins, so a
+        merged gauge reflects whichever registry was folded in last —
+        shard-specific gauges should carry the shard id in their name.
+        Used by :mod:`repro.sim.shard` to fold per-worker registries
+        into one report after a multiprocess run.
+        """
+        for name, total in other.counters.items():
+            self.counter(name, total)
+        for name, (calls, seconds) in other.timers.items():
+            cell = self.timers.get(name)
+            if cell is None:
+                self.timers[name] = [calls, seconds]
+            else:
+                cell[0] += calls
+                cell[1] += seconds
+        self.gauges.update(other.gauges)
+        for name, hist in other.histograms.items():
+            mine = self.histogram(name)
+            for value in hist._values:
+                mine.record(value)
+
     def reset(self) -> None:
         self.counters.clear()
         self.timers.clear()
@@ -190,3 +215,4 @@ observe = PERF.observe
 snapshot = PERF.snapshot
 reset = PERF.reset
 value = PERF.value
+merge = PERF.merge

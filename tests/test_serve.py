@@ -3,6 +3,7 @@
 import io
 import json
 import socket
+import struct
 import threading
 
 import pytest
@@ -200,3 +201,186 @@ class TestSustainedLoad:
         assert delivered == 1000
         timer = perf.snapshot()["timers"]["serve.request.send"]
         assert timer["calls"] == 1000
+
+
+class TestTcpHardening:
+    @staticmethod
+    def _start_tcp(server, port=0, timeout=None):
+        port_box, ready = [], threading.Event()
+        thread = threading.Thread(
+            target=lambda: server.serve_tcp(
+                port=port, timeout=timeout,
+                ready=lambda p: (port_box.append(p), ready.set())),
+            daemon=True)
+        thread.start()
+        assert ready.wait(10)
+        return thread, port_box[0]
+
+    @staticmethod
+    def _rpc(port, *requests):
+        """One connection, N request/response lines, then a clean close.
+
+        Closing the makefile handle matters: it holds a dup of the
+        socket fd, and the single-threaded server would stay blocked on
+        a connection whose handle merely went out of scope.
+        """
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as s:
+            fh = s.makefile("rw", encoding="utf-8")
+            try:
+                replies = []
+                for request in requests:
+                    fh.write(request + "\n")
+                    fh.flush()
+                    replies.append(json.loads(fh.readline()))
+                return replies
+            finally:
+                fh.close()
+
+    @classmethod
+    def _shutdown(cls, port):
+        assert cls._rpc(port, '{"op": "shutdown"}')[0]["ok"]
+
+    def test_reuse_addr_is_set_before_bind(self):
+        from repro.serve import _ReuseAddrTCPServer
+        # The class attribute is what TCPServer.__init__ consults before
+        # it binds; an instance attribute set afterwards never could.
+        assert _ReuseAddrTCPServer.allow_reuse_address is True
+        server = _ReuseAddrTCPServer(("127.0.0.1", 0), None,
+                                     bind_and_activate=True)
+        try:
+            assert server.socket.getsockopt(socket.SOL_SOCKET,
+                                            socket.SO_REUSEADDR) != 0
+        finally:
+            server.server_close()
+
+    def test_bind_twice_regression(self):
+        """A restart must be able to rebind the port a previous server
+        (with live TIME_WAIT connections) just released."""
+        first = ReproServer(build_network(kind="intra", seed=6,
+                                          n_routers=16, hosts=10))
+        thread, port = self._start_tcp(first)
+        self._shutdown(port)
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+        second = ReproServer(build_network(kind="intra", seed=6,
+                                           n_routers=16, hosts=10))
+        thread, port_again = self._start_tcp(second, port=port)
+        assert port_again == port
+        self._shutdown(port)
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+    def test_survives_mid_request_hangup(self):
+        server = ReproServer(build_network(kind="intra", seed=6,
+                                           n_routers=16, hosts=10))
+        thread, port = self._start_tcp(server)
+        sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+        sock.sendall(b'{"op": "ping"}\n')
+        buf = b""
+        while not buf.endswith(b"\n"):
+            buf += sock.recv(4096)
+        assert json.loads(buf)["ok"]
+        # Half a request, then an abrupt RST instead of a newline.
+        # (No makefile() here: its dup'd fd would keep the connection
+        # alive past close() and the RST would never go out.)
+        sock.sendall(b'{"op": "se')
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                        struct.pack("ii", 1, 0))
+        sock.close()
+        # The server must shrug and answer the next connection.
+        assert self._rpc(port, '{"op": "ping"}')[0]["ok"]
+        self._shutdown(port)
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+    def test_idle_connection_times_out(self):
+        server = ReproServer(build_network(kind="intra", seed=6,
+                                           n_routers=16, hosts=10))
+        thread, port = self._start_tcp(server, timeout=0.3)
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as s:
+            s.settimeout(10)
+            # Say nothing; the server must hang up on us, not wedge.
+            assert s.recv(4096) == b""
+        assert self._rpc(port, '{"op": "ping"}')[0]["ok"]
+        self._shutdown(port)
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+
+class TestTransportEquivalence:
+    SCRIPT = ['{"op": "ping", "id": 1}',
+              '{"op": "join", "n": 5, "id": 2}',
+              '{"op": "send", "n": 10, "id": 3}',
+              '{"op": "route", "src": "h0", "dst": "h3", "id": 4}',
+              '{"op": "state_hash", "id": 5}',
+              '{"op": "shutdown", "id": 6}']
+
+    @staticmethod
+    def _fresh():
+        return ReproServer(build_network(kind="intra", seed=9,
+                                         n_routers=16, hosts=20))
+
+    def test_stdio_and_tcp_tapes_are_byte_identical(self):
+        stdio_out = io.StringIO()
+        self._fresh().serve_lines(self.SCRIPT, stdio_out)
+
+        tcp_server = self._fresh()
+        thread, port = TestTcpHardening._start_tcp(tcp_server)
+        tape = []
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as s:
+            fh = s.makefile("rw", encoding="utf-8")
+            for line in self.SCRIPT:
+                fh.write(line + "\n")
+                fh.flush()
+                tape.append(fh.readline())
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert "".join(tape) == stdio_out.getvalue()
+
+
+class TestShardedServer:
+    @pytest.fixture(scope="class")
+    def sharded_server(self):
+        from repro.serve import ShardedReproServer
+        from repro.sim.shard import ShardCoordinator
+        sim = ShardCoordinator({"n_ases": 40, "seed": 3,
+                                "cache_entries": 0},
+                               n_shards=2, window_ops=32).start()
+        try:
+            yield ShardedReproServer(sim)
+        finally:
+            sim.close()
+
+    def test_join_send_metrics(self, sharded_server):
+        assert ok(sharded_server, op="ping")["pong"] is True
+        joined = ok(sharded_server, op="join", n=60)
+        assert joined["joined"] == 60
+        assert joined["total_hosts"] == 60
+        sent = ok(sharded_server, op="send", n=20)
+        assert sent["sent"] == 20
+        assert sent["delivered"] >= 19
+        metrics = ok(sharded_server, op="metrics")
+        assert metrics["stats"]
+        assert metrics["lookup_mismatches"] == 0
+        assert metrics["perf"]["gauges"]["shard.count"] == 2
+
+    def test_info_and_state_hash(self, sharded_server):
+        info = ok(sharded_server, op="info")
+        assert info["kind"] == "inter"
+        assert info["shards"] == 2
+        digest = ok(sharded_server, op="state_hash")["state_hash"]
+        assert len(digest) == 64
+
+    def test_unsupported_ops_reject_cleanly(self, sharded_server):
+        for op in ("route", "leave", "workload", "verify"):
+            assert "--shards" in err(sharded_server, op=op)
+
+    def test_save_writes_canonical_replica(self, sharded_server,
+                                           tmp_path):
+        path = str(tmp_path / "sharded-serve.snap")
+        saved = ok(sharded_server, op="save", path=path)
+        assert saved["state_hash"] == ok(
+            sharded_server, op="state_hash")["state_hash"]
+        net = snapshot.load(path, verify=True)
+        assert len(net.hosts) == 60

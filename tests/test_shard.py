@@ -1,0 +1,258 @@
+"""Sharded multiprocess simulation core (``repro.sim.shard``).
+
+The load-bearing property: an N-shard run is *bit-identical* to the
+1-shard run and to the plain in-process network — same delivery
+metrics, same protocol message counters, same snapshot ``state_hash``.
+"""
+
+import pickle
+
+import pytest
+
+from repro import snapshot
+from repro.inter.network import InterDomainNetwork
+from repro.inter.policy import JoinStrategy
+from repro.sim.shard import (ShardCoordinator, ShardError, ShardPlan,
+                             ShardWorker, build_replica)
+from repro.sim.stats import StatsCollector
+from repro.topology.asgraph import synthetic_as_graph
+from repro.util.perf import PerfRegistry
+
+SEED, N_ASES, HOSTS, SENDS = 0, 40, 260, 120
+RECIPE = {"n_ases": N_ASES, "seed": SEED, "n_fingers": 8,
+          "strategy": "multihomed", "cache_entries": 0}
+
+
+def run_legacy():
+    """The plain single-process reference run of the same workload."""
+    asg = synthetic_as_graph(n_ases=N_ASES, seed=SEED)
+    net = InterDomainNetwork(asg, n_fingers=8, seed=SEED,
+                             strategy=JoinStrategy.MULTIHOMED,
+                             cache_entries=0)
+    net.join_random_hosts(HOSTS)
+    net.flush_indexes()
+    join_state_hash = snapshot.state_hash(net)
+    net.bgp.warm()
+    delivered = cached = 0
+    hops = stretch = 0.0
+    for _ in range(SENDS):
+        result = net.send(*net.random_host_pair())
+        if result.delivered:
+            delivered += 1
+            hops += result.hops
+            if result.optimal_hops > 0:
+                stretch += result.hops / result.optimal_hops
+        cached += bool(result.used_cache)
+    return {
+        "metrics": {
+            "sent": SENDS, "delivered": delivered, "cache_hits": cached,
+            "mean_hops": round(hops / delivered, 4) if delivered else 0.0,
+            "mean_stretch": round(stretch / delivered, 4)
+            if delivered else 0.0,
+        },
+        "messages": dict(net.stats.messages),
+        "mismatches": net.lookup_mismatches,
+        "join_state_hash": join_state_hash,
+        "state_hash": snapshot.state_hash(net),
+    }
+
+
+@pytest.fixture(scope="module")
+def legacy():
+    return run_legacy()
+
+
+@pytest.fixture(scope="module")
+def sharded(tmp_path_factory):
+    """One real 2-worker multiprocess run of the same workload."""
+    snap_path = str(tmp_path_factory.mktemp("shard") / "sharded.snap")
+    with ShardCoordinator(RECIPE, n_shards=2, window_ops=64) as sim:
+        lookahead = sim.lookahead
+        sim.join_hosts(HOSTS)
+        sim.flush_indexes()
+        sim.warm_oracle()
+        metrics = sim.run_sends(SENDS)
+        hashes = sim.state_hash(all_replicas=True)
+        worker = sim.metrics()
+        info = sim.info()
+        saved_hash = sim.save(snap_path)
+        merged = sim.merged_perf()
+    return {
+        "lookahead": lookahead, "metrics": metrics, "hashes": hashes,
+        "worker": worker, "info": info, "snap_path": snap_path,
+        "saved_hash": saved_hash, "perf": merged,
+    }
+
+
+class TestShardPlan:
+    def test_deterministic_and_disjoint(self):
+        asg = synthetic_as_graph(n_ases=N_ASES, seed=SEED)
+        plan_a = ShardPlan.from_graph(asg, 3)
+        plan_b = ShardPlan.from_graph(
+            synthetic_as_graph(n_ases=N_ASES, seed=SEED), 3)
+        assert plan_a.shard_of == plan_b.shard_of
+        assert plan_a.ghost_edges == plan_b.ghost_edges
+        assert set(plan_a.shard_of) == set(asg.ases())
+        assert set(plan_a.shard_of.values()) == {0, 1, 2}
+
+    def test_load_balanced_by_hosts(self):
+        asg = synthetic_as_graph(n_ases=N_ASES, seed=SEED)
+        plan = ShardPlan.from_graph(asg, 2)
+        loads = [0, 0]
+        for asn, shard in plan.shard_of.items():
+            loads[shard] += asg.hosts(asn)
+        assert max(loads) <= 1.5 * min(loads)
+
+    def test_ghost_edges_cross_shards(self):
+        asg = synthetic_as_graph(n_ases=N_ASES, seed=SEED)
+        plan = ShardPlan.from_graph(asg, 2)
+        assert plan.ghost_edges
+        for a, b in plan.ghost_edges:
+            assert plan.owner(a) != plan.owner(b)
+        assert plan.lookahead > 0
+
+    def test_single_shard_has_no_ghosts(self):
+        asg = synthetic_as_graph(n_ases=N_ASES, seed=SEED)
+        plan = ShardPlan.from_graph(asg, 1)
+        assert plan.ghost_edges == ()
+        assert plan.lookahead > 0
+
+    def test_rejects_bad_shard_count(self):
+        asg = synthetic_as_graph(n_ases=N_ASES, seed=SEED)
+        with pytest.raises(ShardError):
+            ShardPlan.from_graph(asg, 0)
+
+
+class TestStatsAbsorb:
+    def test_absorb_merges_counters_and_charges_op(self):
+        stats = StatsCollector()
+        with stats.operation("join") as record:
+            stats.absorb({"join": 3, "repair": 1}, {"A": 2},
+                         into_op=record)
+        assert stats.messages["join"] == 3
+        assert stats.messages["repair"] == 1
+        assert stats.router_traversals["A"] == 2
+        assert stats.operations[-1]["messages"] == 4
+
+    def test_absorb_without_op(self):
+        stats = StatsCollector()
+        stats.absorb({"route": 5}, None)
+        assert stats.messages["route"] == 5
+        assert not stats.operations
+
+
+class TestPerfMerge:
+    def test_merge_folds_counters_timers_histograms(self):
+        a, b = PerfRegistry(), PerfRegistry()
+        a.counter("x")
+        b.counter("x")
+        b.counter("y")
+        with a.timed("t"):
+            pass
+        with b.timed("t"):
+            pass
+        a.observe("h", 1.0)
+        b.observe("h", 2.0)
+        b.gauge("g", 7)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["counters"]["x"] == 2
+        assert snap["counters"]["y"] == 1
+        assert snap["timers"]["t"]["calls"] == 2
+        assert snap["gauges"]["g"] == 7
+        assert snap["histograms"]["h"]["count"] == 2
+
+
+class TestBuildReplica:
+    def test_identical_recipes_build_identical_state(self):
+        assert (snapshot.state_hash(build_replica(RECIPE))
+                == snapshot.state_hash(build_replica(dict(RECIPE))))
+
+    def test_rejects_pointer_caches(self):
+        with pytest.raises(ShardError):
+            build_replica({**RECIPE, "cache_entries": 32})
+
+    def test_rejects_bloom_peering(self):
+        with pytest.raises(ShardError):
+            build_replica({**RECIPE, "peering_mode": "bloom"})
+
+
+class TestInProcessWorker:
+    """Window mechanics without subprocesses: one worker, pickled effects
+    (as the pipes would deliver them), checked against the legacy run."""
+
+    def test_windows_with_pickled_effects_match_legacy(self, legacy):
+        worker = ShardWorker(None, dict(RECIPE), 0, 1)
+        done = 0
+        while done < HOSTS:
+            count = min(64, HOSTS - done)
+            effects = worker._run_window("join", count)
+            assert len(effects) == count
+            effects = pickle.loads(pickle.dumps(effects))
+            worker._apply_effects(sorted(effects, key=lambda e: e["seq"]))
+            done += count
+        worker.net.flush_indexes()
+        assert (snapshot.state_hash(worker.net)
+                == legacy["join_state_hash"])
+
+    def test_virtual_clock_advances_one_lookahead_per_window(self):
+        worker = ShardWorker(None, dict(RECIPE), 0, 1)
+        assert worker.loop.now == 0.0
+        worker._apply_effects(worker._run_window("join", 10))
+        assert worker.loop.now == pytest.approx(worker.plan.lookahead)
+        worker._apply_effects(worker._run_window("join", 10))
+        assert worker.loop.now == pytest.approx(2 * worker.plan.lookahead)
+
+
+class TestEquivalence:
+    """The determinism contract, against real worker processes."""
+
+    def test_metrics_match_legacy(self, sharded, legacy):
+        assert sharded["metrics"] == legacy["metrics"]
+
+    def test_message_counters_match_legacy(self, sharded, legacy):
+        assert sharded["worker"]["messages"] == legacy["messages"]
+        assert (sharded["worker"]["lookup_mismatches"]
+                == legacy["mismatches"])
+
+    def test_state_hash_matches_legacy_on_every_replica(self, sharded,
+                                                        legacy):
+        assert len(set(sharded["hashes"])) == 1
+        assert sharded["hashes"][0] == legacy["state_hash"]
+
+    def test_snapshot_roundtrip(self, sharded, legacy):
+        assert sharded["saved_hash"] == legacy["state_hash"]
+        net = snapshot.load(sharded["snap_path"], verify=True)
+        assert len(net.hosts) == HOSTS
+        meta = snapshot.describe(sharded["snap_path"])["meta"]
+        assert meta["shards"] == 2
+
+    def test_info_reports_shards(self, sharded):
+        assert sharded["info"]["shards"] == 2
+        assert sharded["info"]["hosts"] == HOSTS
+        assert sharded["info"]["lookahead"] == sharded["lookahead"]
+
+    def test_merged_perf_covers_both_shards(self, sharded):
+        snap = sharded["perf"].snapshot()
+        assert snap["gauges"]["shard.count"] == 2
+        assert "shard.0.virtual_now" in snap["gauges"]
+        assert "shard.1.virtual_now" in snap["gauges"]
+        # Walks run once per op across the fleet (owner-only), installs
+        # on every replica — the merged timer shows exactly one join per
+        # host per replica.
+        assert snap["timers"]["inter.join"]["calls"] == 2 * HOSTS
+
+
+class TestCoordinatorErrors:
+    def test_worker_build_failure_surfaces(self):
+        with pytest.raises(ShardError):
+            ShardCoordinator({**RECIPE, "cache_entries": 8},
+                             n_shards=2).start()
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ShardError):
+            ShardCoordinator(RECIPE, n_shards=2, window_ops=0)
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ShardError):
+            ShardCoordinator(RECIPE, n_shards=0)

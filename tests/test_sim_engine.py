@@ -228,3 +228,70 @@ class TestOnEventObserver:
         loop.run()
         # Only the cancelling event itself is observed.
         assert len(seen) == 1 and seen[0] is not victim
+
+
+class TestClockNeverRewinds:
+    """``run(until=t)`` with ``t`` in the past must clamp, not rewind:
+    the past-scheduling guards assume ``now`` is monotone."""
+
+    def test_run_until_in_the_past_keeps_now(self):
+        loop = EventLoop()
+        loop.schedule(5.0, lambda: None)
+        loop.schedule(15.0, lambda: None)
+        assert loop.run(until=10.0) == 1
+        assert loop.now == 10.0
+        # The regression: this used to set now back to 3.0, after which
+        # schedule_at(5.0, ...) would "re-open" the already-elapsed past.
+        assert loop.run(until=3.0) == 0
+        assert loop.now == 10.0
+        loop.schedule_at(12.0, lambda: None)  # must not raise
+
+    def test_run_until_now_is_a_no_op(self):
+        loop = EventLoop()
+        loop.schedule(2.0, lambda: None)
+        loop.run()
+        assert loop.now == 2.0
+        assert loop.run(until=2.0) == 0
+        assert loop.now == 2.0
+
+
+class TestClockMonotoneProperty:
+    """Property: ``now`` is non-decreasing under arbitrary interleavings
+    of schedule / schedule_at / cancel / run(until=...) / step."""
+
+    def test_monotone_under_arbitrary_interleavings(self):
+        hypothesis = pytest.importorskip("hypothesis")
+        st = pytest.importorskip("hypothesis.strategies")
+
+        op = st.tuples(
+            st.sampled_from(("schedule", "schedule_at", "cancel",
+                             "run_until", "run_all", "step")),
+            st.floats(min_value=0.0, max_value=50.0,
+                      allow_nan=False, allow_infinity=False))
+
+        @hypothesis.given(st.lists(op, max_size=60))
+        @hypothesis.settings(max_examples=200, deadline=None)
+        def check(ops):
+            loop = EventLoop()
+            events = []
+            floor = loop.now
+            for name, x in ops:
+                if name == "schedule":
+                    events.append(loop.schedule(x, lambda: None))
+                elif name == "schedule_at":
+                    events.append(loop.schedule_at(loop.now + x,
+                                                   lambda: None))
+                elif name == "cancel" and events:
+                    events[int(x) % len(events)].cancel()
+                elif name == "run_until":
+                    # x is absolute and may lie before now — the
+                    # rewind-prone case this property exists to pin.
+                    loop.run(until=x)
+                elif name == "run_all":
+                    loop.run(max_events=int(x))
+                elif name == "step":
+                    loop.step()
+                assert loop.now >= floor, (name, x, loop.now, floor)
+                floor = loop.now
+
+        check()
