@@ -414,6 +414,54 @@ def check_scaling_cliff(rows: list, section: str,
                                 floor))
 
 
+def write_bench_metrics(path: str, inter_rows: list, intra_rows: list,
+                        workload_rows: list) -> int:
+    """Re-emit the sweep as a window-metrics JSONL stream (one window
+    per bench row) through :class:`repro.obs.metrics.MetricsExporter`,
+    so ``repro report --metrics`` can render the trajectory alongside a
+    live run's stream.  Each row's perf dump is folded cumulatively into
+    a scratch registry; the exporter's per-window deltas then recover
+    exactly that row's counters and timer activity.  Wall-clock fields
+    stay in (``deterministic=False``) — bench rows are wall-clock
+    measurements by nature."""
+    from repro.obs.metrics import MetricsExporter
+    from repro.util.perf import PerfRegistry
+
+    registry = PerfRegistry()
+    t = 0
+    with MetricsExporter(registry, path, deterministic=False,
+                         source="perf_trajectory") as exporter:
+        for section, rows in (("interdomain", inter_rows),
+                              ("intradomain", intra_rows)):
+            for row in rows:
+                snap = row.get("perf", {})
+                for name, value in snap.get("counters", {}).items():
+                    registry.counter(name, value)
+                for name, timer in snap.get("timers", {}).items():
+                    cell = registry.timers.setdefault(name, [0, 0.0, 0.0])
+                    cell[0] += timer["calls"]
+                    cell[1] += timer["seconds"]
+                    cell[2] = max(cell[2], timer.get("max", 0.0))
+                for name, value in snap.get("gauges", {}).items():
+                    registry.gauge(name, value)
+                t += 1
+                exporter.emit_window(float(t), extra={
+                    "section": section,
+                    "hosts": row["hosts"],
+                    "joins_per_sec": row["joins_per_sec"],
+                    "sends_per_sec": row["sends_per_sec"],
+                })
+        for row in workload_rows:
+            t += 1
+            exporter.emit_window(float(t), extra={
+                "section": "workload",
+                "scenario": row["scenario"],
+                "rate_multiplier": row["rate_multiplier"],
+                "events_per_sec": row["events_per_sec"],
+            })
+        return exporter.windows_emitted
+
+
 def validate(data: dict) -> None:
     """Raise ``ValueError`` unless ``data`` has the required shape."""
     for key in REQUIRED_TOP_KEYS:
@@ -449,6 +497,10 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default=None,
                         help="output path (default: repo-root "
                              "BENCH_scaling.json)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="also emit the sweep as a window-metrics "
+                             "JSONL stream (one window per bench row, "
+                             "renderable by 'repro report --metrics')")
     parser.add_argument("--snapshot-dir", default=None, metavar="DIR",
                         help="warm-start cache: first run saves a "
                              "snapshot per population, later runs load "
@@ -533,6 +585,10 @@ def main(argv=None) -> int:
         fh.write("\n")
     print("wrote {} (peak RSS {:.0f} MiB)".format(
         os.path.normpath(out_path), data["peak_rss_mb"]))
+    if args.metrics_out is not None:
+        windows = write_bench_metrics(args.metrics_out, inter_rows,
+                                      intra_rows, workload_rows)
+        print("wrote {} ({} windows)".format(args.metrics_out, windows))
     return 0
 
 

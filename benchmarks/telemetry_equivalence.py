@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Telemetry-equivalence gate: N-shard telemetry == 1-shard, byte for byte.
+
+The companion to ``shard_equivalence.py`` for the observability pipeline
+(DESIGN.md §12).  Runs the same interdomain workload through the sharded
+engine with ``trace_out``/``metrics_out`` set, once at 1 shard and once
+at N, and fails unless
+
+* the merged cross-shard trace JSONL is **byte-identical** between the
+  two runs (global renumbering erases worker-local span/seq state),
+* the window-metrics JSONL is byte-identical,
+* the same holds at a fractional ``--trace-sample`` (sampling is keyed
+  on the global op sequence, so the keep/drop set must not depend on
+  the shard count), and
+* the runs still agree on delivery metrics and snapshot ``state_hash``
+  (telemetry collection must not perturb the simulation).
+
+Standalone CI job::
+
+    PYTHONPATH=src python benchmarks/telemetry_equivalence.py \
+        --hosts 600 --shards 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.sim.shard import ShardCoordinator        # noqa: E402
+
+
+def run_once(recipe: dict, n_shards: int, hosts: int, sends: int,
+             sample: float, outdir: str) -> dict:
+    tag = "{}shard-s{}".format(n_shards, sample)
+    trace_path = os.path.join(outdir, "trace-{}.jsonl".format(tag))
+    metrics_path = os.path.join(outdir, "metrics-{}.jsonl".format(tag))
+    with ShardCoordinator(recipe, n_shards, window_ops=128,
+                          trace_out=trace_path, trace_sample=sample,
+                          metrics_out=metrics_path) as sim:
+        sim.join_hosts(hosts)
+        sim.warm_oracle()
+        metrics = sim.run_sends(sends)
+        digest = sim.state_hash()
+        windows = sim.windows_synced
+    with open(trace_path, "rb") as fh:
+        trace_bytes = fh.read()
+    with open(metrics_path, "rb") as fh:
+        metrics_bytes = fh.read()
+    return {
+        "shards": n_shards,
+        "metrics": metrics,
+        "state_hash": digest,
+        "windows": windows,
+        "trace_bytes": trace_bytes,
+        "metrics_bytes": metrics_bytes,
+    }
+
+
+def compare(base: dict, test: dict, label: str) -> list:
+    failures = []
+    if base["trace_bytes"] != test["trace_bytes"]:
+        failures.append(
+            "{}: trace JSONL differs ({} vs {} bytes)".format(
+                label, len(base["trace_bytes"]), len(test["trace_bytes"])))
+    if base["metrics_bytes"] != test["metrics_bytes"]:
+        failures.append(
+            "{}: window-metrics JSONL differs ({} vs {} bytes)".format(
+                label, len(base["metrics_bytes"]),
+                len(test["metrics_bytes"])))
+    if base["metrics"] != test["metrics"]:
+        failures.append("{}: delivery metrics diverged: {} != {}".format(
+            label, base["metrics"], test["metrics"]))
+    if base["state_hash"] != test["state_hash"]:
+        failures.append("{}: state hash diverged".format(label))
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hosts", type=int, default=600)
+    parser.add_argument("--sends", type=int, default=300)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--ases", type=int, default=60)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--trace-sample", type=float, default=0.25,
+                        help="fractional sample rate for the second "
+                             "equivalence pass (default 0.25)")
+    args = parser.parse_args(argv)
+    if args.shards < 2:
+        parser.error("--shards must be >= 2 (the gate compares against 1)")
+
+    recipe = {"n_ases": args.ases, "seed": args.seed, "n_fingers": 8,
+              "strategy": "multihomed", "cache_entries": 0}
+    print("telemetry equivalence: {} hosts, {} sends, seed {}".format(
+        args.hosts, args.sends, args.seed))
+    failures = []
+    full_trace_len = None
+    with tempfile.TemporaryDirectory(prefix="telemetry-eq-") as outdir:
+        for sample in (1.0, args.trace_sample):
+            base = run_once(recipe, 1, args.hosts, args.sends, sample,
+                            outdir)
+            test = run_once(recipe, args.shards, args.hosts, args.sends,
+                            sample, outdir)
+            label = "sample={}".format(sample)
+            print("  {}: 1-shard {} trace bytes / {} windows; "
+                  "{}-shard {} trace bytes / {} windows".format(
+                      label, len(base["trace_bytes"]), base["windows"],
+                      args.shards, len(test["trace_bytes"]),
+                      test["windows"]))
+            failures.extend(compare(base, test, label))
+            if sample == 1.0:
+                full_trace_len = len(base["trace_bytes"])
+            elif full_trace_len and not (
+                    0 < len(test["trace_bytes"]) < full_trace_len):
+                failures.append(
+                    "sample={} kept {} bytes of the {}-byte full trace — "
+                    "sampling is not thinning the stream".format(
+                        sample, len(test["trace_bytes"]), full_trace_len))
+    if failures:
+        print("FAIL: sharded telemetry diverged from the 1-shard baseline")
+        for failure in failures:
+            print("  " + failure)
+        return 1
+    print("OK: {}-shard trace and metrics JSONL are byte-identical to "
+          "1-shard (full and sampled)".format(args.shards))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,7 +7,9 @@ Commands:
 * ``workload <scenario.json|builtin> [--seed N] [--json PATH]`` — run a
   declarative churn/traffic/fault scenario (``--list`` names builtins).
   ``--trace-out out.jsonl`` records a causal packet trace; ``--probes``
-  runs live invariant probes.
+  runs live invariant probes; ``--metrics-out m.jsonl`` streams one
+  JSONL line of perf-registry deltas per ``--metrics-window`` of
+  virtual time (deterministic: same seed, byte-identical stream).
 * ``trace`` — route packets under the ``repro.obs`` tracer and render
   each decision tree with per-hop stretch attribution; ``--scenario``
   replays a workload window instead.
@@ -17,6 +19,10 @@ Commands:
   session for tests and CI).
 * ``snapshot {save,info,verify} PATH`` — checkpoint/restore of complete
   network state with canonical state hashing (``repro.snapshot``).
+* ``report [--metrics m.jsonl] [--perf result.json] [--bench
+  BENCH_scaling.json] [--out report.html]`` — render telemetry
+  artifacts into one self-contained HTML or markdown document
+  (``repro.obs.report``).
 * ``quickstart`` — a 30-second end-to-end tour of the intradomain system.
 * ``info`` — package, paper, and inventory summary.
 
@@ -169,7 +175,9 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         tracer = obs_trace.Tracer(sink=sink, sample=args.trace_sample)
         obs_trace.install(tracer)
     try:
-        result = run_scenario(scenario, tracer=tracer, probes=args.probes)
+        result = run_scenario(scenario, tracer=tracer, probes=args.probes,
+                              metrics_out=args.metrics_out,
+                              metrics_window=args.metrics_window)
     finally:
         if tracer is not None:
             from repro.obs import trace as obs_trace
@@ -183,6 +191,10 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     if result.violations:
         print("probes: {} violation(s)".format(len(result.violations)),
               file=sys.stderr)
+    if args.metrics_out is not None:
+        print("metrics: {} window(s) -> {}".format(
+            result.totals["metrics_windows"], args.metrics_out),
+            file=sys.stderr)
 
     if args.json is not None:
         payload = json.dumps(result.deterministic_view(), indent=2,
@@ -324,6 +336,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import ReproServer, ShardedReproServer, build_network
 
     sim = None
+    if args.shards <= 1 and (args.trace_out is not None
+                             or args.metrics_out is not None):
+        print("serve: --trace-out/--metrics-out need --shards N (the "
+              "sharded coordinator collects telemetry at window barriers); "
+              "for unsharded runs use 'repro workload' with the same flags",
+              file=sys.stderr)
+        return 2
     if args.shards > 1:
         if args.kind != "inter":
             print("serve: --shards requires --kind inter", file=sys.stderr)
@@ -335,7 +354,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from repro.sim.shard import ShardCoordinator
         sim = ShardCoordinator({"n_ases": args.ases, "seed": args.seed,
                                 "cache_entries": args.cache_entries or 0},
-                               n_shards=args.shards).start()
+                               n_shards=args.shards,
+                               trace_out=args.trace_out,
+                               trace_sample=args.trace_sample,
+                               metrics_out=args.metrics_out).start()
         if args.hosts:
             sim.join_hosts(args.hosts)
             sim.flush_indexes()
@@ -419,6 +441,30 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import generate_report
+
+    if args.metrics is None and args.perf is None and args.bench is None:
+        print("report: nothing to render; pass --metrics, --perf, and/or "
+              "--bench", file=sys.stderr)
+        return 2
+    fmt = "html" if args.out.endswith(".html") else "markdown"
+    try:
+        document = generate_report(args.title, metrics_path=args.metrics,
+                                   perf_path=args.perf,
+                                   bench_path=args.bench, fmt=fmt)
+    except (OSError, json.JSONDecodeError) as exc:
+        print("report: {}".format(exc), file=sys.stderr)
+        return 2
+    if args.out == "-":
+        print(document, end="")
+    else:
+        with open(args.out, "w") as fh:
+            fh.write(document)
+        print("wrote {} ({} bytes, {})".format(args.out, len(document), fmt))
+    return 0
+
+
 def _cmd_info(_args: argparse.Namespace) -> int:
     import repro
     print("repro {} — ROFL: Routing on Flat Labels (SIGCOMM 2006)".format(
@@ -466,6 +512,13 @@ def main(argv=None) -> int:
                           metavar="F", help="fraction of packet spans to keep")
     workload.add_argument("--probes", action="store_true",
                           help="run live invariant probes during the run")
+    workload.add_argument("--metrics-out", default=None, metavar="PATH",
+                          help="stream windowed perf-registry deltas as "
+                               "JSONL (deterministic per seed)")
+    workload.add_argument("--metrics-window", type=float, default=None,
+                          metavar="T",
+                          help="virtual-time span of one metrics window "
+                               "(default: the scenario's sample interval)")
     workload.set_defaults(func=_cmd_workload)
 
     tracecmd = sub.add_parser(
@@ -523,6 +576,17 @@ def main(argv=None) -> int:
                        help="TCP bind address (default 127.0.0.1)")
     serve.add_argument("--requests", default=None, metavar="FILE",
                        help="answer the JSON-line requests in FILE and exit")
+    serve.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="sharded mode: write the merged cross-shard "
+                            "packet trace as JSONL (byte-identical to the "
+                            "1-shard run)")
+    serve.add_argument("--trace-sample", type=float, default=1.0,
+                       metavar="F",
+                       help="fraction of operations to trace (decided from "
+                            "the global op seq; shard-count invariant)")
+    serve.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="sharded mode: write one window-metrics JSONL "
+                            "row per sync barrier")
     serve.set_defaults(func=_cmd_serve)
 
     snap = sub.add_parser(
@@ -539,6 +603,22 @@ def main(argv=None) -> int:
                       help="save: hosts to join before saving (default 200)")
     snap.add_argument("--cache-entries", type=int, default=None)
     snap.set_defaults(func=_cmd_snapshot)
+
+    report = sub.add_parser(
+        "report",
+        help="render telemetry artifacts into one HTML/markdown report")
+    report.add_argument("--metrics", default=None, metavar="PATH",
+                        help="window-metrics JSONL (from --metrics-out)")
+    report.add_argument("--perf", default=None, metavar="PATH",
+                        help="JSON result carrying a perf snapshot "
+                             "(timer tree source)")
+    report.add_argument("--bench", default=None, metavar="PATH",
+                        help="BENCH_scaling.json scaling trajectory")
+    report.add_argument("--title", default="repro telemetry report")
+    report.add_argument("--out", default="-", metavar="PATH",
+                        help="output file; '.html' renders HTML, anything "
+                             "else markdown ('-' = markdown to stdout)")
+    report.set_defaults(func=_cmd_report)
 
     quick = sub.add_parser("quickstart", help="run the quickstart scenario")
     quick.set_defaults(func=_cmd_quickstart)

@@ -1,22 +1,31 @@
-"""``repro.obs`` — causal tracing, route-decision explain, invariant probes.
+"""``repro.obs`` — causal tracing, explain, probes, metrics, reports.
 
-Zero-dependency observability for the whole stack.  See DESIGN.md §7.
+Zero-dependency observability for the whole stack.  See DESIGN.md §7
+(tracing) and §12 (the streaming telemetry pipeline).
 """
 
 from repro.obs.explain import (PacketExplanation, Segment, explain_packets,
                                explain_span, last_packet, packet_spans)
+from repro.obs.metrics import (MetricsExporter, read_metrics_jsonl,
+                               render_prometheus)
 from repro.obs.probes import (CacheIsolationProbe, InterRingConsistencyProbe,
                               Probe, ProbeSet, RingConsistencyProbe,
                               SpfAgreementProbe, Violation)
+from repro.obs.report import (build_timer_tree, generate_report,
+                              render_html, render_markdown,
+                              render_timer_tree, summarize_metrics)
 from repro.obs.trace import (JsonlSink, NullSink, RingBufferSink, Span,
                              TraceRecord, Tracer, get_tracer, install,
                              read_jsonl, tracing, uninstall)
 
 __all__ = [
     "CacheIsolationProbe", "InterRingConsistencyProbe", "JsonlSink",
-    "NullSink", "PacketExplanation", "Probe", "ProbeSet",
+    "MetricsExporter", "NullSink", "PacketExplanation", "Probe", "ProbeSet",
     "RingBufferSink", "RingConsistencyProbe", "Segment", "Span",
     "SpfAgreementProbe", "TraceRecord", "Tracer", "Violation",
-    "explain_packets", "explain_span", "get_tracer", "install",
-    "last_packet", "packet_spans", "read_jsonl", "tracing", "uninstall",
+    "build_timer_tree", "explain_packets", "explain_span", "generate_report",
+    "get_tracer", "install", "last_packet", "packet_spans",
+    "read_jsonl", "read_metrics_jsonl", "render_html", "render_markdown",
+    "render_prometheus", "render_timer_tree", "summarize_metrics",
+    "tracing", "uninstall",
 ]

@@ -1,0 +1,323 @@
+"""Self-contained run reports: metrics stream, timer tree, trajectory.
+
+``python -m repro report`` takes the telemetry artifacts other parts of
+the pipeline write — a window-metrics JSONL stream (``--metrics-out``),
+a perf snapshot with timers (any JSON carrying a registry dump, e.g. a
+workload result or one ``BENCH_scaling.json`` row), and the scaling
+bench's ``BENCH_scaling.json`` — and renders them into one document a
+human can read without re-running anything.  Markdown by default; a
+``.html`` output path produces a self-contained HTML file (inline CSS,
+inline SVG sparklines, zero external assets) suitable for a CI artifact.
+
+The hierarchical timer tree folds dotted timer names
+(``inter.join.fingers`` under ``inter.join`` under ``inter``) and
+aggregates seconds/calls bottom-up, so the expensive subtree is obvious
+at a glance even in a registry with dozens of flat names.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from typing import Any, Dict, List, Optional
+
+# ---------------------------------------------------------------------------
+# Timer tree.
+# ---------------------------------------------------------------------------
+
+
+def build_timer_tree(timers: Dict[str, Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold flat dotted timer names into a tree.
+
+    Each node is ``{"name", "children": {part: node}, "row"}`` where
+    ``row`` is the registry's snapshot entry when the exact dotted name
+    exists (inner nodes without their own timer get ``row=None``).
+    """
+    root: Dict[str, Any] = {"name": "", "children": {}, "row": None}
+    for name, row in timers.items():
+        node = root
+        for part in name.split("."):
+            node = node["children"].setdefault(
+                part, {"name": part, "children": {}, "row": None})
+        node["row"] = row
+    return root
+
+
+def _subtree_seconds(node: Dict[str, Any]) -> float:
+    own = node["row"]["seconds"] if node["row"] else 0.0
+    return own + sum(_subtree_seconds(child)
+                     for child in node["children"].values())
+
+
+def render_timer_tree(timers: Dict[str, Dict[str, Any]]) -> List[str]:
+    """Text lines of the tree, heaviest subtree first at every level."""
+    lines = ["{:<44} {:>8} {:>10} {:>12} {:>10}".format(
+        "timer", "calls", "seconds", "mean", "max")]
+
+    def walk(node: Dict[str, Any], depth: int) -> None:
+        children = sorted(node["children"].values(),
+                          key=lambda c: (-_subtree_seconds(c), c["name"]))
+        for child in children:
+            label = "{}{}".format("  " * depth, child["name"])
+            row = child["row"]
+            if row:
+                lines.append(
+                    "{:<44} {:>8} {:>10.3f} {:>12.6f} {:>10.4f}".format(
+                        label, row["calls"], row["seconds"],
+                        row.get("mean", 0.0), row.get("max", 0.0)))
+            else:
+                lines.append("{:<44} {:>8} {:>10.3f}".format(
+                    label, "-", _subtree_seconds(child)))
+            walk(child, depth + 1)
+
+    walk(build_timer_tree(timers), 0)
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# Metrics stream summary.
+# ---------------------------------------------------------------------------
+
+def summarize_metrics(rows: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Totals over a window stream: counter deltas summed, span of t."""
+    totals: Dict[str, float] = {}
+    for row in rows:
+        for name, delta in row.get("counters", {}).items():
+            totals[name] = totals.get(name, 0) + delta
+    return {
+        "windows": len(rows),
+        "t_start": rows[0]["t"] if rows else None,
+        "t_end": rows[-1]["t"] if rows else None,
+        "counter_totals": totals,
+    }
+
+
+def _top_counters(rows: List[Dict[str, Any]], limit: int = 6) -> List[str]:
+    """The counter names worth plotting/tabulating, biggest totals first."""
+    totals = summarize_metrics(rows)["counter_totals"]
+    return [name for name, _ in sorted(totals.items(),
+                                       key=lambda kv: (-kv[1], kv[0]))
+            ][:limit]
+
+
+def _metrics_table(rows: List[Dict[str, Any]],
+                   names: List[str]) -> List[List[str]]:
+    table = [["window", "t"] + names]
+    for row in rows:
+        cells = [str(row.get("window", "")), "{:g}".format(row["t"])]
+        for name in names:
+            value = row.get("counters", {}).get(name, 0)
+            cells.append("{:g}".format(value))
+        table.append(cells)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Trajectory (BENCH_scaling.json).
+# ---------------------------------------------------------------------------
+
+def _bench_tables(bench: Dict[str, Any]) -> Dict[str, List[List[str]]]:
+    out: Dict[str, List[List[str]]] = {}
+    for section in ("interdomain", "intradomain"):
+        rows = bench.get(section) or []
+        if not rows:
+            continue
+        table = [["hosts", "join s", "joins/s", "send s", "sends/s",
+                  "peak MiB"]]
+        for row in rows:
+            table.append([
+                str(row.get("hosts", "")),
+                "{:g}".format(row.get("join_seconds", 0)),
+                "{:g}".format(row.get("joins_per_sec", 0)),
+                "{:g}".format(row.get("send_seconds", 0)),
+                "{:g}".format(row.get("sends_per_sec", 0)),
+                "{:g}".format(row.get("peak_rss_mb", 0)),
+            ])
+        out[section] = table
+    workload = bench.get("workload") or []
+    if workload:
+        table = [["scenario", "rate x", "events", "events/s", "delivery"]]
+        for row in workload:
+            rate = row.get("delivery_rate")
+            table.append([
+                str(row.get("scenario", "")),
+                "{:g}".format(row.get("rate_multiplier", 0)),
+                str(row.get("events_run", "")),
+                "{:g}".format(row.get("events_per_sec", 0)),
+                "-" if rate is None else "{:.4f}".format(rate),
+            ])
+        out["workload"] = table
+    return out
+
+
+def _bench_perf(bench: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """The perf snapshot of the largest interdomain row (the run whose
+    timer tree says the most about where scale goes)."""
+    rows = bench.get("interdomain") or bench.get("intradomain") or []
+    best = None
+    for row in rows:
+        if isinstance(row.get("perf"), dict):
+            if best is None or row.get("hosts", 0) > best.get("hosts", 0):
+                best = row
+    return best["perf"] if best else None
+
+
+def extract_perf_snapshot(payload: Dict[str, Any]
+                          ) -> Optional[Dict[str, Any]]:
+    """Find a registry snapshot inside an arbitrary result JSON: the
+    object itself (has ``timers``), its ``perf`` key, or — for a
+    ``BENCH_scaling.json`` — the biggest row's dump."""
+    if not isinstance(payload, dict):
+        return None
+    if isinstance(payload.get("timers"), dict):
+        return payload
+    if isinstance(payload.get("perf"), dict):
+        return payload["perf"]
+    return _bench_perf(payload)
+
+
+# ---------------------------------------------------------------------------
+# Markdown rendering.
+# ---------------------------------------------------------------------------
+
+def _md_table(table: List[List[str]]) -> List[str]:
+    lines = ["| " + " | ".join(table[0]) + " |",
+             "|" + "|".join(" --- " for _ in table[0]) + "|"]
+    for row in table[1:]:
+        lines.append("| " + " | ".join(row) + " |")
+    return lines
+
+
+def render_markdown(title: str,
+                    metrics_rows: Optional[List[Dict[str, Any]]] = None,
+                    perf_snapshot: Optional[Dict[str, Any]] = None,
+                    bench: Optional[Dict[str, Any]] = None) -> str:
+    lines = ["# {}".format(title), ""]
+    if metrics_rows:
+        info = summarize_metrics(metrics_rows)
+        lines += ["## Metrics stream", "",
+                  "{} windows over t = {:g} .. {:g}.".format(
+                      info["windows"], info["t_start"], info["t_end"]), ""]
+        names = _top_counters(metrics_rows)
+        if names:
+            lines += _md_table(_metrics_table(metrics_rows, names))
+            lines.append("")
+    if perf_snapshot and perf_snapshot.get("timers"):
+        lines += ["## Timer tree", "", "```"]
+        lines += render_timer_tree(perf_snapshot["timers"])
+        lines += ["```", ""]
+    if bench:
+        lines += ["## Scaling trajectory", ""]
+        for section, table in _bench_tables(bench).items():
+            lines += ["### {}".format(section), ""]
+            lines += _md_table(table)
+            lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+# ---------------------------------------------------------------------------
+# HTML rendering (self-contained: inline CSS + inline SVG).
+# ---------------------------------------------------------------------------
+
+_CSS = """
+body { font: 14px/1.45 system-ui, sans-serif; margin: 2em auto;
+       max-width: 70em; color: #1a1a2e; padding: 0 1em; }
+h1 { border-bottom: 2px solid #444; padding-bottom: .2em; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { border: 1px solid #bbb; padding: .25em .6em; text-align: right; }
+th { background: #eef; }
+td:first-child, th:first-child { text-align: left; }
+pre { background: #f6f6fa; padding: 1em; overflow-x: auto; }
+svg { background: #fbfbff; border: 1px solid #ddd; margin: .5em 0; }
+.legend { font-size: 12px; color: #555; }
+"""
+
+
+def _sparkline(series: List[float], width: int = 640,
+               height: int = 80) -> str:
+    """One inline SVG polyline for a per-window series."""
+    if len(series) < 2:
+        return ""
+    top = max(series) or 1.0
+    step = width / (len(series) - 1)
+    points = " ".join(
+        "{:.1f},{:.1f}".format(i * step,
+                               height - (value / top) * (height - 6) - 3)
+        for i, value in enumerate(series))
+    return ('<svg width="{w}" height="{h}" viewBox="0 0 {w} {h}">'
+            '<polyline fill="none" stroke="#3355bb" stroke-width="1.5" '
+            'points="{p}"/></svg>').format(w=width, h=height, p=points)
+
+
+def _html_table(table: List[List[str]]) -> str:
+    head = "".join("<th>{}</th>".format(_html.escape(cell))
+                   for cell in table[0])
+    body = "".join(
+        "<tr>{}</tr>".format("".join("<td>{}</td>".format(_html.escape(cell))
+                                     for cell in row))
+        for row in table[1:])
+    return "<table><tr>{}</tr>{}</table>".format(head, body)
+
+
+def render_html(title: str,
+                metrics_rows: Optional[List[Dict[str, Any]]] = None,
+                perf_snapshot: Optional[Dict[str, Any]] = None,
+                bench: Optional[Dict[str, Any]] = None) -> str:
+    parts = ["<!DOCTYPE html><html><head><meta charset=\"utf-8\">",
+             "<title>{}</title>".format(_html.escape(title)),
+             "<style>{}</style></head><body>".format(_CSS),
+             "<h1>{}</h1>".format(_html.escape(title))]
+    if metrics_rows:
+        info = summarize_metrics(metrics_rows)
+        parts.append("<h2>Metrics stream</h2>")
+        parts.append("<p>{} windows over t = {:g} .. {:g}.</p>".format(
+            info["windows"], info["t_start"], info["t_end"]))
+        for name in _top_counters(metrics_rows, limit=3):
+            series = [row.get("counters", {}).get(name, 0)
+                      for row in metrics_rows]
+            svg = _sparkline([float(v) for v in series])
+            if svg:
+                parts.append("<div class=\"legend\">{} per window "
+                             "(peak {:g})</div>{}".format(
+                                 _html.escape(name), max(series), svg))
+        names = _top_counters(metrics_rows)
+        if names:
+            parts.append(_html_table(_metrics_table(metrics_rows, names)))
+    if perf_snapshot and perf_snapshot.get("timers"):
+        parts.append("<h2>Timer tree</h2><pre>{}</pre>".format(
+            _html.escape("\n".join(
+                render_timer_tree(perf_snapshot["timers"])))))
+    if bench:
+        parts.append("<h2>Scaling trajectory</h2>")
+        for section, table in _bench_tables(bench).items():
+            parts.append("<h3>{}</h3>{}".format(_html.escape(section),
+                                                _html_table(table)))
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Top-level entry used by the CLI.
+# ---------------------------------------------------------------------------
+
+def generate_report(title: str,
+                    metrics_path: Optional[str] = None,
+                    perf_path: Optional[str] = None,
+                    bench_path: Optional[str] = None,
+                    fmt: str = "markdown") -> str:
+    """Load the named artifacts and render one report document."""
+    from repro.obs.metrics import read_metrics_jsonl
+    metrics_rows = read_metrics_jsonl(metrics_path) if metrics_path else None
+    perf_snapshot = None
+    if perf_path:
+        with open(perf_path) as fh:
+            perf_snapshot = extract_perf_snapshot(json.load(fh))
+    bench = None
+    if bench_path:
+        with open(bench_path) as fh:
+            bench = json.load(fh)
+        if perf_snapshot is None:
+            perf_snapshot = _bench_perf(bench)
+    render = render_html if fmt == "html" else render_markdown
+    return render(title, metrics_rows=metrics_rows,
+                  perf_snapshot=perf_snapshot, bench=bench)

@@ -16,9 +16,13 @@ Every response echoes ``op`` (and ``id`` when the request carried one)
 and has ``ok``; failures carry ``error`` instead of result fields, and a
 bad request never kills the server.  Supported ops: ``ping``, ``info``,
 ``join``, ``leave``, ``send``, ``route``, ``workload``, ``metrics``,
-``save``, ``state_hash``, ``verify``, ``shutdown``.  Per-request latency
-is recorded through :mod:`repro.util.perf` as ``serve.request.<op>``
-(the ``metrics`` op reports it back out).
+``metrics_text``, ``save``, ``state_hash``, ``verify``, ``shutdown``.
+Per-request latency is recorded through :mod:`repro.util.perf` as a
+``serve.request.<op>`` timer plus a ``serve.latency.<op>`` histogram;
+the ``metrics`` op reports both back out (with per-op p50/p95/p99), and
+``metrics_text`` renders the whole registry in the Prometheus text
+exposition format for external scrapers (see
+:func:`repro.obs.metrics.render_prometheus`).
 
 Transports: stdio (default — pipe-friendly), or TCP via ``--tcp PORT``
 (line-delimited JSON over a socket, one resident network shared by
@@ -30,6 +34,7 @@ from __future__ import annotations
 import json
 import socketserver
 import sys
+import time
 from typing import Any, Dict, IO, Iterable, Optional
 
 from repro.util import perf
@@ -111,6 +116,7 @@ class ReproServer:
                     name[4:] for name in dir(self)
                     if name.startswith("_op_"))))
             return response
+        start = time.perf_counter()
         try:
             with perf.timed("serve.request.{}".format(op)):
                 result = handler(request)
@@ -118,6 +124,8 @@ class ReproServer:
             response["ok"] = False
             response["error"] = "{}: {}".format(type(exc).__name__, exc)
             return response
+        perf.observe("serve.latency.{}".format(op),
+                     time.perf_counter() - start)
         self.requests_served += 1
         response.update(result)
         return response
@@ -241,11 +249,53 @@ class ReproServer:
             "wall_seconds": result.wall_seconds,
         }
 
+    @staticmethod
+    def _latency_summary() -> Dict[str, Dict[str, float]]:
+        """Per-op request-latency percentiles from the ``serve.latency.*``
+        histograms (seconds)."""
+        out: Dict[str, Dict[str, float]] = {}
+        prefix = "serve.latency."
+        for name, hist in perf.PERF.histograms.items():
+            if name.startswith(prefix) and len(hist):
+                snap = hist.snapshot()
+                out[name[len(prefix):]] = {
+                    "count": snap["count"],
+                    "mean": round(snap["mean"], 9),
+                    "p50": round(snap["p50"], 9),
+                    "p95": round(snap["p95"], 9),
+                    "p99": round(snap["p99"], 9),
+                    "max": round(snap["max"], 9),
+                }
+        return out
+
+    def _metrics_registry_snapshot(self) -> Dict[str, Any]:
+        """The registry view ``metrics_text`` renders: the process perf
+        registry plus the resident network's protocol message counters
+        and a few liveness gauges."""
+        snap = perf.snapshot()
+        counters = dict(snap.get("counters", {}))
+        for name, value in self.net.stats.messages.items():
+            counters["net.messages." + name] = value
+        snap["counters"] = counters
+        gauges = dict(snap.get("gauges", {}))
+        gauges["net.hosts"] = len(self.net.hosts)
+        gauges["serve.requests_served"] = self.requests_served
+        snap["gauges"] = gauges
+        return snap
+
     def _op_metrics(self, request: Dict) -> Dict:
         return {
             "stats": self.net.stats.snapshot(),
             "perf": perf.snapshot(),
+            "latency": self._latency_summary(),
             "requests_served": self.requests_served,
+        }
+
+    def _op_metrics_text(self, request: Dict) -> Dict:
+        from repro.obs.metrics import render_prometheus
+        return {
+            "content_type": "text/plain; version=0.0.4",
+            "text": render_prometheus(self._metrics_registry_snapshot()),
         }
 
     def _op_save(self, request: Dict) -> Dict:
@@ -372,10 +422,14 @@ class ShardedReproServer(ReproServer):
 
     The resident "network" is a :class:`repro.sim.shard.ShardCoordinator`
     — N worker processes holding lock-step replicas.  Bulk operations
-    (``join``, ``send``) and observers (``metrics``, ``state_hash``,
-    ``save``, ``info``) forward to the coordinator; operations that need
-    an in-process network object (``route``, ``leave``, ``workload``,
-    ``verify``) reject cleanly with a pointer at unsharded mode.
+    (``join``, ``send``) and observers (``metrics``, ``metrics_text``,
+    ``state_hash``, ``save``, ``info``) forward to the coordinator; the
+    metrics surfaces render the *merged* coordinator + all-worker
+    registry view (per-shard ``shard.<k>.*`` gauges included) plus the
+    live window counters the coordinator folds in at every barrier.
+    Operations that need an in-process network object (``route``,
+    ``leave``, ``workload``, ``verify``) reject cleanly with a pointer
+    at unsharded mode.
     """
 
     def __init__(self, sim):
@@ -412,14 +466,41 @@ class ShardedReproServer(ReproServer):
                              "not available with --shards")
         return self.sim.run_sends(n)
 
-    def _op_metrics(self, request: Dict) -> Dict:
+    def _merged_registry(self):
+        """All worker registries folded together (``shard.<k>.*`` gauges
+        included) plus the coordinator's own serve timers — the one view
+        every sharded metrics surface renders from.  Only gauges and the
+        window counter come from :attr:`~repro.sim.shard.ShardCoordinator.
+        live_perf`: its counters are window deltas of the same registries
+        :meth:`~repro.sim.shard.ShardCoordinator.merged_perf` already
+        sums, so folding them wholesale would double-count."""
         merged = self.sim.merged_perf()
         merged.merge(perf.PERF)  # fold in coordinator-side serve timers
+        merged.gauges.update(self.sim.live_perf.gauges)
+        windows = self.sim.live_perf.counters.get("shard.windows", 0)
+        if windows:
+            merged.counter("shard.windows", windows)
+        return merged
+
+    def _metrics_registry_snapshot(self) -> Dict[str, Any]:
+        snap = self._merged_registry().snapshot()
+        gauges = dict(snap.get("gauges", {}))
+        gauges["serve.requests_served"] = self.requests_served
+        snap["gauges"] = gauges
+        return snap
+
+    def _op_metrics(self, request: Dict) -> Dict:
         worker = self.sim.metrics()
         return {
             "stats": worker["snapshot"],
             "lookup_mismatches": worker["lookup_mismatches"],
-            "perf": merged.snapshot(),
+            "perf": self._merged_registry().snapshot(),
+            "latency": self._latency_summary(),
+            "live": {
+                "windows_synced": self.sim.windows_synced,
+                "counters": dict(self.sim.live_perf.counters),
+                "gauges": dict(self.sim.live_perf.gauges),
+            },
             "requests_served": self.requests_served,
         }
 

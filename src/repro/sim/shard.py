@@ -50,17 +50,37 @@ Sharded runs require ``cache_entries == 0`` (the scaling bench's
 default): pointer-cache fills would make walks mutate state on one
 replica only.  All other state mutated by healthy-network routing is the
 scratch stats collector swapped in around each walk.
+
+Telemetry rides the same pipes (DESIGN.md §12).  With ``trace_out``
+set, every worker installs a :mod:`repro.obs.trace` tracer; the records
+an *owned* operation emits are sliced out of the worker's ring buffer
+and shipped inside that operation's effect.  The coordinator strips
+them during the canonical merge and rewrites ``seq``/``span``/``parent``
+onto one global numbering in merged (virtual time, global op seq)
+order — so the JSONL an N-shard run writes is byte-identical to the
+1-shard run's.  Span sampling is decided from the *global* operation
+sequence number (never the worker-local span counter), which keeps the
+keep/drop set shard-count-invariant at any sample rate.  With
+``metrics_out`` set, the coordinator also writes one JSONL row per sync
+window — virtual-time stamp plus message/traversal/delivery deltas
+aggregated from the merged effects, deterministic by construction —
+and each window reply carries the worker's perf-counter delta, folded
+into :attr:`ShardCoordinator.live_perf` so a resident serve session can
+report progress without an extra broadcast.
 """
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import traceback
 from collections import Counter
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple
 
+from repro.obs import trace as obs_trace
+from repro.obs.trace import _HASH_MOD, _HASH_MULT
 from repro.sim.engine import EventLoop
 from repro.sim.stats import StatsCollector
 from repro.util import perf
@@ -215,7 +235,7 @@ class ShardWorker:
     """One shard: a full replica plus its event loop and command pump."""
 
     def __init__(self, conn, recipe: Dict[str, Any], index: int,
-                 n_shards: int):
+                 n_shards: int, telemetry: Optional[Dict[str, Any]] = None):
         self.conn = conn
         self.index = index
         self.n_shards = n_shards
@@ -226,6 +246,56 @@ class ShardWorker:
         #: seq -> (op record, virtual node) for joins awaiting a barrier.
         self._pending: Dict[int, tuple] = {}
         self._out: List[Dict[str, Any]] = []
+        #: Counter values at the last window boundary, for per-window
+        #: perf deltas shipped with each window reply.
+        self._perf_base: Dict[str, float] = {}
+        telemetry = telemetry or {}
+        self._trace_sample = float(telemetry.get("trace_sample", 1.0))
+        self._trace_sink: Optional[obs_trace.RingBufferSink] = None
+        if telemetry.get("trace"):
+            self._trace_sink = obs_trace.RingBufferSink(capacity=None)
+            obs_trace.install(obs_trace.Tracer(
+                self._trace_sink, clock=lambda: self.loop.now, sample=1.0))
+
+    # -- telemetry ------------------------------------------------------------
+
+    def _op_sampled(self, seq: int) -> bool:
+        """Keep/drop decision for one operation's trace, hashed from the
+        *global* op sequence number — identical on every replica and for
+        every shard count (a worker-local span id would not be)."""
+        if self._trace_sample >= 1.0:
+            return True
+        return ((seq + 1) * _HASH_MULT) % _HASH_MOD < int(
+            self._trace_sample * _HASH_MOD)
+
+    @contextmanager
+    def _op_trace(self, seq: Optional[int]) -> Iterator[
+            Optional[obs_trace.RingBufferSink]]:
+        """Capture the records one *owned* operation emits (``seq`` is
+        ``None`` on non-owning replicas — no capture).  Unsampled ops run
+        with emission muted so their records never exist anywhere."""
+        sink = self._trace_sink
+        if sink is None or seq is None:
+            yield None
+            return
+        if not self._op_sampled(seq):
+            obs_trace.ENABLED = False
+            try:
+                yield None
+            finally:
+                obs_trace.ENABLED = True
+            return
+        sink.clear()
+        yield sink
+
+    def _perf_delta(self) -> Dict[str, float]:
+        """Counter movement since the previous window boundary."""
+        counters = perf.PERF.counters
+        delta = {name: value - self._perf_base.get(name, 0)
+                 for name, value in counters.items()
+                 if value != self._perf_base.get(name, 0)}
+        self._perf_base = dict(counters)
+        return delta
 
     # -- operations ---------------------------------------------------------
 
@@ -243,18 +313,21 @@ class ShardWorker:
         host = self._next_planned_host()
         ctx = WalkContext(compute=self.plan.owner(host.attach_at)
                           == self.index)
-        net.join_host(host, walks=ctx)
-        if ctx.compute:
-            if ctx.n_fingers:
+        with self._op_trace(seq if ctx.compute else None) as sink:
+            net.join_host(host, walks=ctx)
+            if ctx.compute and ctx.n_fingers:
                 with perf.timed("inter.join.fingers"):
                     fingers, charge = select_fingers(net, ctx.vn,
                                                      ctx.n_fingers)
                 ctx.effect["fingers"] = fingers
                 ctx.effect["finger_charge"] = charge
+        if ctx.compute:
             effect = ctx.effect
             effect["seq"] = seq
             effect["messages"] = dict(effect["messages"])
             effect["traversals"] = dict(effect["traversals"])
+            if sink is not None:
+                effect["trace"] = [r.to_dict() for r in sink.records()]
             self._out.append(effect)
         self._pending[seq] = (ctx.op_record, ctx.vn)
 
@@ -264,9 +337,10 @@ class ShardWorker:
         src_vn = net.hosts[a]
         if self.plan.owner(src_vn.home_as) != self.index:
             return
-        with _scratch_stats(net) as scratch:
-            result = net.send(a, b)
-        self._out.append({
+        with self._op_trace(seq) as sink:
+            with _scratch_stats(net) as scratch:
+                result = net.send(a, b)
+        effect = {
             "kind": "send", "seq": seq,
             "messages": dict(scratch.messages),
             "traversals": dict(scratch.router_traversals),
@@ -275,7 +349,10 @@ class ShardWorker:
             "optimal_hops": result.optimal_hops,
             "pointer_hops": result.pointer_hops,
             "used_cache": result.used_cache,
-        })
+        }
+        if sink is not None:
+            effect["trace"] = [r.to_dict() for r in sink.records()]
+        self._out.append(effect)
 
     def _run_window(self, kind: str, count: int) -> List[Dict[str, Any]]:
         """Schedule ``count`` operations inside one lookahead of virtual
@@ -363,10 +440,12 @@ class ShardWorker:
                 return
             if name == "join_window":
                 effects = self._run_window("join", cmd["count"])
-                self.conn.send({"effects": effects})
+                self.conn.send({"effects": effects,
+                                "perf_delta": self._perf_delta()})
             elif name == "send_window":
                 effects = self._run_window("send", cmd["count"])
-                self.conn.send({"effects": effects})
+                self.conn.send({"effects": effects,
+                                "perf_delta": self._perf_delta()})
             elif name == "apply":
                 self._apply_effects(cmd["effects"])
                 self.conn.send({"ok": True})
@@ -379,6 +458,7 @@ class ShardWorker:
                 self.conn.send({"ok": True})
             elif name == "perf_reset":
                 perf.reset()
+                self._perf_base = {}
                 self.conn.send({"ok": True})
             elif name == "metrics":
                 self.conn.send({
@@ -409,6 +489,10 @@ class ShardWorker:
                 reg = perf.PERF
                 prefix = "shard.{}.".format(self.index)
                 reg.gauge(prefix + "virtual_now", self.loop.now)
+                reg.gauge(prefix + "hosts", len(self.net.hosts))
+                reg.gauge(prefix + "owned_ases", sum(
+                    1 for s in self.plan.shard_of.values()
+                    if s == self.index))
                 for timer in ("inter.route.lookup", "inter.join.fingers"):
                     cell = reg.timers.get(timer)
                     if cell is not None:
@@ -420,13 +504,17 @@ class ShardWorker:
 
 
 def _worker_main(conn, recipe: Dict[str, Any], index: int,
-                 n_shards: int) -> None:
+                 n_shards: int,
+                 telemetry: Optional[Dict[str, Any]] = None) -> None:
     # Under the fork start method the child inherits the parent's global
     # perf registry mid-flight; a worker's report must cover its own
-    # lifetime only (and match what a spawn start would produce).
+    # lifetime only (and match what a spawn start would produce).  Same
+    # for any installed tracer — an inherited JsonlSink would share the
+    # parent's file descriptor and interleave writes into its file.
     perf.reset()
+    obs_trace.uninstall()
     try:
-        ShardWorker(conn, recipe, index, n_shards).run()
+        ShardWorker(conn, recipe, index, n_shards, telemetry).run()
     except EOFError:
         pass  # coordinator went away; nothing to report to
     except Exception:
@@ -461,17 +549,36 @@ class ShardCoordinator:
     """
 
     def __init__(self, recipe: Dict[str, Any], n_shards: int,
-                 window_ops: int = DEFAULT_WINDOW_OPS):
+                 window_ops: int = DEFAULT_WINDOW_OPS, *,
+                 trace_out: Optional[str] = None,
+                 trace_sample: float = 1.0,
+                 metrics_out: Optional[str] = None):
         if n_shards < 1:
             raise ShardError("n_shards must be >= 1")
         if window_ops < 1:
             raise ShardError("window_ops must be >= 1")
+        if not 0.0 <= trace_sample <= 1.0:
+            raise ShardError("trace_sample must be in [0, 1]")
         self.recipe = dict(recipe)
         self.n_shards = n_shards
         self.window_ops = window_ops
+        self.trace_out = trace_out
+        self.trace_sample = trace_sample
+        self.metrics_out = metrics_out
         self.lookahead: Optional[float] = None
         self.hosts_joined = 0
         self.sends_run = 0
+        self.windows_synced = 0
+        #: Worker perf-counter deltas folded in live at each window
+        #: barrier (N-replica semantics, like :meth:`merged_perf`), so a
+        #: resident serve session can report mid-run progress without an
+        #: extra broadcast.
+        self.live_perf = PerfRegistry()
+        self._virtual_now = 0.0
+        self._trace_fh: Optional[Any] = None
+        self._metrics_fh: Optional[Any] = None
+        self._trace_seq = 0
+        self._trace_span = 0
         self._conns: List[Any] = []
         self._procs: List[Any] = []
         self._started = False
@@ -485,11 +592,13 @@ class ShardCoordinator:
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-fork platforms
             ctx = multiprocessing.get_context("spawn")
+        telemetry = {"trace": self.trace_out is not None,
+                     "trace_sample": self.trace_sample}
         for index in range(self.n_shards):
             parent, child = ctx.Pipe()
             proc = ctx.Process(target=_worker_main,
                                args=(child, self.recipe, index,
-                                     self.n_shards),
+                                     self.n_shards, telemetry),
                                daemon=True,
                                name="rofl-shard-{}".format(index))
             proc.start()
@@ -503,6 +612,10 @@ class ShardCoordinator:
                 raise ShardError("shard {} failed to start: {!r}".format(
                     index, ready))
             self.lookahead = ready["lookahead"]
+        if self.trace_out is not None:
+            self._trace_fh = open(self.trace_out, "w")
+        if self.metrics_out is not None:
+            self._metrics_fh = open(self.metrics_out, "w")
         return self
 
     def close(self) -> None:
@@ -520,6 +633,10 @@ class ShardCoordinator:
             if proc.is_alive():  # pragma: no cover - hung worker
                 proc.terminate()
                 proc.join(timeout=5)
+        for fh in (self._trace_fh, self._metrics_fh):
+            if fh is not None:
+                fh.close()
+        self._trace_fh = self._metrics_fh = None
         self._conns, self._procs = [], []
         self._started = False
 
@@ -580,10 +697,111 @@ class ShardCoordinator:
             replies = self._broadcast({"cmd": kind + "_window",
                                        "count": count})
             merged = self._merge_effects(replies, count)
+            self._virtual_now += self.lookahead or 0.0
+            # Strip telemetry out of the merged stream *before* the apply
+            # broadcast — replicas never need it, and shipping trace
+            # slices back N times would swamp the pipes.
+            self._collect_window_telemetry(kind, replies, merged)
             self._broadcast({"cmd": "apply", "effects": merged})
             merged_all.extend(merged)
             done += count
         return merged_all
+
+    # -- telemetry (coordinator side) ----------------------------------------
+
+    def _renumber_trace(self, records: List[Dict[str, Any]]
+                        ) -> List[Dict[str, Any]]:
+        """Rewrite one op's records onto the global numbering.  Worker-
+        local ``seq``/``span`` values depend on what else that worker
+        owned; after this rewrite the stream is a pure function of the
+        merged (virtual time, global op seq) order — the byte-equality
+        contract.  Spans never cross operation boundaries, so the maps
+        are per-op."""
+        seq_map: Dict[int, int] = {}
+        span_map: Dict[int, int] = {}
+        for row in records:
+            self._trace_seq += 1
+            seq_map[row["seq"]] = self._trace_seq
+            row["seq"] = self._trace_seq
+            span = row["span"]
+            if span:
+                mapped = span_map.get(span)
+                if mapped is None:
+                    self._trace_span += 1
+                    mapped = span_map[span] = self._trace_span
+                row["span"] = mapped
+            if row["parent"] != -1:
+                row["parent"] = seq_map.get(row["parent"], -1)
+        return records
+
+    def _metrics_row(self, kind: str,
+                     merged: List[Dict[str, Any]]) -> Dict[str, Any]:
+        """One window-metrics row, aggregated *only* from the merged
+        effect stream — which is shard-count invariant by the core
+        determinism contract, so the metrics JSONL is too."""
+        messages: Counter = Counter()
+        traversals = 0
+        row: Dict[str, Any] = {
+            "t": round(self._virtual_now, 9),
+            "window": self.windows_synced,
+            "kind": kind,
+            "ops": len(merged),
+        }
+        if kind == "join":
+            mismatches = finger_charge = 0
+            for effect in merged:
+                messages.update(effect["messages"])
+                traversals += sum(effect["traversals"].values())
+                mismatches += effect["mismatches"]
+                finger_charge += effect["finger_charge"]
+            row["mismatches"] = mismatches
+            row["finger_charge"] = finger_charge
+        else:
+            delivered = cache_hits = 0
+            hops = 0.0
+            for effect in merged:
+                messages.update(effect["messages"])
+                traversals += sum(effect["traversals"].values())
+                if effect["delivered"]:
+                    delivered += 1
+                    hops += effect["hops"]
+                cache_hits += bool(effect["used_cache"])
+            row["delivered"] = delivered
+            row["cache_hits"] = cache_hits
+            row["hops"] = hops
+        row["messages"] = dict(messages)
+        row["traversals"] = traversals
+        return row
+
+    def _collect_window_telemetry(self, kind: str,
+                                  replies: List[Dict[str, Any]],
+                                  merged: List[Dict[str, Any]]) -> None:
+        """Per-barrier telemetry: pop trace slices off the merged effects
+        (renumbered onto the global sequence and written canonically),
+        write the window's metrics row, and fold worker perf deltas into
+        :attr:`live_perf`."""
+        for reply in replies:
+            for name, value in reply.get("perf_delta", {}).items():
+                self.live_perf.counter(name, value)
+        for effect in merged:
+            records = effect.pop("trace", None)
+            if records and self._trace_fh is not None:
+                for row in self._renumber_trace(records):
+                    self._trace_fh.write(json.dumps(
+                        row, sort_keys=True, separators=(",", ":")))
+                    self._trace_fh.write("\n")
+        if self._trace_fh is not None:
+            self._trace_fh.flush()
+        if self._metrics_fh is not None:
+            self._metrics_fh.write(json.dumps(
+                self._metrics_row(kind, merged),
+                sort_keys=True, separators=(",", ":")))
+            self._metrics_fh.write("\n")
+            self._metrics_fh.flush()
+        self.windows_synced += 1
+        self.live_perf.counter("shard.windows")
+        self.live_perf.gauge("shard.virtual_now",
+                             round(self._virtual_now, 9))
 
     # -- public API ---------------------------------------------------------
 

@@ -38,10 +38,12 @@ class _Timer:
         timers = self._registry.timers
         cell = timers.get(self._name)
         if cell is None:
-            timers[self._name] = [1, elapsed]
+            timers[self._name] = [1, elapsed, elapsed]
         else:
             cell[0] += 1
             cell[1] += elapsed
+            if elapsed > cell[2]:
+                cell[2] = elapsed
 
 
 class Histogram:
@@ -83,7 +85,7 @@ class Histogram:
         return ordered[index]
 
     def snapshot(self) -> Dict[str, float]:
-        """JSON-ready summary: count/min/max/mean plus p50/p90/p99."""
+        """JSON-ready summary: count/min/max/mean plus p50/p90/p95/p99."""
         ordered = self._ordered()
         if not ordered:
             return {"count": 0}
@@ -94,6 +96,7 @@ class Histogram:
             "mean": sum(ordered) / len(ordered),
             "p50": self.percentile(0.50),
             "p90": self.percentile(0.90),
+            "p95": self.percentile(0.95),
             "p99": self.percentile(0.99),
         }
 
@@ -109,7 +112,8 @@ class PerfRegistry:
     """A named-counter / named-timer / named-gauge / histogram registry.
 
     ``counters`` maps name → running total; ``timers`` maps name →
-    ``[calls, total_seconds]``; ``gauges`` maps name → last-set value;
+    ``[calls, total_seconds, max_seconds]``; ``gauges`` maps name →
+    last-set value;
     ``histograms`` maps name → :class:`Histogram`.  Registries are cheap
     enough to keep one global (:data:`PERF`) plus ad-hoc private ones in
     tests.
@@ -151,12 +155,17 @@ class PerfRegistry:
         return self.counters.get(name, default)
 
     def snapshot(self) -> Dict[str, Dict]:
-        """A JSON-ready dump: counters verbatim, timers as calls/seconds,
-        gauges verbatim, histograms as summary stats."""
+        """A JSON-ready dump: counters verbatim, timers as
+        calls/seconds/mean/max, gauges verbatim, histograms as summary
+        stats."""
         out = {
             "counters": dict(self.counters),
-            "timers": {name: {"calls": calls, "seconds": round(secs, 6)}
-                       for name, (calls, secs) in self.timers.items()},
+            "timers": {name: {"calls": cell[0],
+                              "seconds": round(cell[1], 6),
+                              "mean": round(cell[1] / cell[0], 9)
+                              if cell[0] else 0.0,
+                              "max": round(cell[2], 6)}
+                       for name, cell in self.timers.items()},
         }
         if self.gauges:
             out["gauges"] = dict(self.gauges)
@@ -168,22 +177,28 @@ class PerfRegistry:
     def merge(self, other: "PerfRegistry") -> None:
         """Fold another registry into this one (sharded-run reporting).
 
-        Counters and timer cells (``[calls, seconds]``) add; histograms
-        concatenate their raw samples; gauges are last-write-wins, so a
-        merged gauge reflects whichever registry was folded in last —
-        shard-specific gauges should carry the shard id in their name.
-        Used by :mod:`repro.sim.shard` to fold per-worker registries
-        into one report after a multiprocess run.
+        Counters add; timer cells (``[calls, seconds, max]``) add their
+        calls and seconds and keep the larger max; histograms concatenate
+        their raw samples; gauges are last-write-wins, so a merged gauge
+        reflects whichever registry was folded in last — shard-specific
+        gauges should carry the shard id in their name.  Used by
+        :mod:`repro.sim.shard` to fold per-worker registries into one
+        report after a multiprocess run.
         """
         for name, total in other.counters.items():
             self.counter(name, total)
-        for name, (calls, seconds) in other.timers.items():
+        for name, their in other.timers.items():
+            # Tolerate two-element [calls, seconds] cells (registries
+            # pickled before max tracking existed).
+            their_max = their[2] if len(their) > 2 else 0.0
             cell = self.timers.get(name)
             if cell is None:
-                self.timers[name] = [calls, seconds]
+                self.timers[name] = [their[0], their[1], their_max]
             else:
-                cell[0] += calls
-                cell[1] += seconds
+                cell[0] += their[0]
+                cell[1] += their[1]
+                if their_max > cell[2]:
+                    cell[2] = their_max
         self.gauges.update(other.gauges)
         for name, hist in other.histograms.items():
             mine = self.histogram(name)

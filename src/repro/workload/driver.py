@@ -176,7 +176,8 @@ class WorkloadDriver:
     """One scenario bound to one network on one event loop."""
 
     def __init__(self, scenario: Scenario, network=None, tracer=None,
-                 probes: bool = False):
+                 probes: bool = False, metrics_out=None,
+                 metrics_window: Optional[float] = None):
         scenario.validate()
         self.scenario = scenario
         self.net = network if network is not None else _build_network(scenario)
@@ -191,6 +192,14 @@ class WorkloadDriver:
         self._skipped_sends = 0
         self._failed_joins = 0
         self.metrics: Optional[MetricsRecorder] = None
+        #: Streaming telemetry (``repro.obs.metrics``): when ``metrics_out``
+        #: is a path or file object, the run emits one JSONL line of
+        #: registry deltas per ``metrics_window`` of virtual time
+        #: (default: the scenario's sample interval).  Deterministic —
+        #: same seed, byte-identical stream.
+        self.metrics_out = metrics_out
+        self.metrics_window = metrics_window
+        self.exporter = None
         #: Optional ``repro.obs`` wiring.  The tracer's clock is re-bound
         #: to this loop's virtual time so records replay byte-for-byte;
         #: probes tick on the sampling cadence and their violations land
@@ -301,6 +310,28 @@ class WorkloadDriver:
         if nxt <= self.scenario.duration:
             self.loop.schedule_at(nxt, self._sample)
 
+    # -- streaming metrics export -------------------------------------------
+
+    def _exporter_counters(self) -> Dict[str, float]:
+        """Cumulative counters the exporter diffs per window: the
+        network's protocol message counters plus run totals.  All are
+        functions of simulation state only (deterministic)."""
+        out = {"messages." + name: value
+               for name, value in self.net.stats.messages.items()}
+        out["packets.sent"] = self.metrics.total_sent
+        out["packets.delivered"] = self.metrics.total_delivered
+        out["joins"] = self.metrics.total_joins
+        out["departures"] = self.metrics.total_departures
+        return out
+
+    def _emit_metrics_window(self, interval: float) -> None:
+        self.exporter.emit_window(
+            self.loop.now, extra={"live_hosts": len(self.live_hosts())})
+        nxt = self.loop.now + interval
+        if nxt <= self.scenario.duration:
+            self.loop.schedule_at(
+                nxt, lambda: self._emit_metrics_window(interval))
+
     # -- setup & run --------------------------------------------------------
 
     def _schedule_phase(self, phase: Phase, index: int) -> None:
@@ -350,6 +381,15 @@ class WorkloadDriver:
         # warmup so sample 1 reports churn-era overhead, not setup cost.
         self.metrics = MetricsRecorder(
             self.net.stats, self.adapter.state_entries)
+        if self.metrics_out is not None:
+            from repro.obs.metrics import MetricsExporter
+            self.exporter = MetricsExporter(
+                self.metrics.perf, self.metrics_out,
+                counters_fn=self._exporter_counters,
+                source=scenario.name)
+            window = self.metrics_window or scenario.sample_interval
+            self.loop.schedule_at(min(window, scenario.duration),
+                                  lambda: self._emit_metrics_window(window))
 
         for index, phase in enumerate(scenario.phases):
             self._schedule_phase(phase, index)
@@ -365,6 +405,15 @@ class WorkloadDriver:
                 self.metrics.samples[-1]["t"] < scenario.duration:
             self.metrics.sample(scenario.duration, len(self.live_hosts()),
                                 pending_events=self.loop.pending)
+        if self.exporter is not None:
+            # Close the stream on a final window at the scenario horizon
+            # so the tail of the run is never silently dropped.
+            if self.exporter.last_t is None or \
+                    self.exporter.last_t < scenario.duration:
+                self.exporter.emit_window(
+                    scenario.duration,
+                    extra={"live_hosts": len(self.live_hosts())})
+            self.exporter.close()
 
         wall = time.perf_counter() - started
         totals = {
@@ -378,6 +427,8 @@ class WorkloadDriver:
             "faults_fired": len(self.fault_log),
             "events_run": self.loop.events_run,
             "final_live_hosts": len(self.live_hosts()),
+            "metrics_windows": (self.exporter.windows_emitted
+                                if self.exporter is not None else 0),
         }
         return WorkloadResult(
             scenario=scenario.to_dict(),
@@ -394,7 +445,9 @@ class WorkloadDriver:
 
 
 def run_scenario(scenario: Scenario, network=None, tracer=None,
-                 probes: bool = False) -> WorkloadResult:
+                 probes: bool = False, metrics_out=None,
+                 metrics_window: Optional[float] = None) -> WorkloadResult:
     """Convenience one-shot: build a driver, run it, return the result."""
     return WorkloadDriver(scenario, network=network, tracer=tracer,
-                          probes=probes).run()
+                          probes=probes, metrics_out=metrics_out,
+                          metrics_window=metrics_window).run()

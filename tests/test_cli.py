@@ -180,3 +180,67 @@ def test_serve_warm_loads_snapshot(tmp_path, capsys):
     info = json.loads(captured.out.splitlines()[0])
     assert info["hosts"] == 20
     assert "loaded" in captured.err
+
+
+def test_workload_metrics_out_streams_windows(tmp_path, capsys):
+    path = tmp_path / "metrics.jsonl"
+    assert main(["workload", "steady-churn", "--metrics-out", str(path),
+                 "--metrics-window", "20"]) == 0
+    captured = capsys.readouterr()
+    assert "metrics:" in captured.err and "window(s)" in captured.err
+    rows = [json.loads(line) for line in path.read_text().splitlines()]
+    assert rows
+    assert all(row["source"] == "steady-churn" for row in rows)
+    # Deterministic stream: re-running the same seed reproduces it.
+    again = tmp_path / "metrics-again.jsonl"
+    assert main(["workload", "steady-churn", "--metrics-out", str(again),
+                 "--metrics-window", "20"]) == 0
+    assert again.read_bytes() == path.read_bytes()
+
+
+def test_serve_telemetry_flags_require_shards(capsys):
+    assert main(["serve", "--trace-out", "t.jsonl",
+                 "--requests", "/dev/null"]) == 2
+    assert "--shards" in capsys.readouterr().err
+    assert main(["serve", "--metrics-out", "m.jsonl",
+                 "--requests", "/dev/null"]) == 2
+    assert "repro workload" in capsys.readouterr().err
+
+
+def test_report_requires_an_input(capsys):
+    assert main(["report"]) == 2
+    assert "nothing to render" in capsys.readouterr().err
+
+
+def test_report_rejects_unreadable_input(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert main(["report", "--perf", str(bad)]) == 2
+    assert "report:" in capsys.readouterr().err
+
+
+def test_report_markdown_to_stdout(tmp_path, capsys):
+    metrics = tmp_path / "m.jsonl"
+    result = tmp_path / "r.json"
+    assert main(["workload", "steady-churn", "--metrics-out", str(metrics),
+                 "--json", str(result)]) == 0
+    capsys.readouterr()
+    assert main(["report", "--metrics", str(metrics),
+                 "--perf", str(result), "--title", "Smoke"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("# Smoke")
+    assert "## Metrics stream" in out
+
+
+def test_report_writes_html_file(tmp_path, capsys):
+    metrics = tmp_path / "m.jsonl"
+    assert main(["workload", "steady-churn",
+                 "--metrics-out", str(metrics)]) == 0
+    capsys.readouterr()
+    out_path = tmp_path / "report.html"
+    assert main(["report", "--metrics", str(metrics),
+                 "--out", str(out_path)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    html = out_path.read_text()
+    assert html.startswith("<!DOCTYPE html>")
+    assert "<svg" in html

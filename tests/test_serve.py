@@ -75,6 +75,24 @@ class TestDispatch:
         assert metrics["perf"]["timers"]["serve.request.ping"]["calls"] >= 1
         assert "messages_total" in metrics["stats"] or metrics["stats"]
 
+    def test_metrics_latency_percentiles(self, server):
+        ok(server, op="ping")
+        latency = ok(server, op="metrics")["latency"]
+        assert "ping" in latency
+        row = latency["ping"]
+        assert row["count"] >= 1
+        assert 0 <= row["p50"] <= row["p95"] <= row["p99"] <= row["max"]
+
+    def test_metrics_text_renders_prometheus(self, server):
+        ok(server, op="ping")
+        reply = ok(server, op="metrics_text")
+        assert reply["content_type"].startswith("text/plain")
+        text = reply["text"]
+        assert "# TYPE repro_net_hosts gauge" in text
+        assert "repro_net_hosts 40" in text
+        assert "repro_serve_request_ping_calls_total" in text
+        assert 'quantile="0.99"' in text  # serve.latency summaries
+
     def test_unknown_op_lists_choices(self, server):
         message = err(server, op="frobnicate")
         assert "unknown op" in message and "ping" in message
@@ -384,3 +402,36 @@ class TestShardedServer:
             sharded_server, op="state_hash")["state_hash"]
         net = snapshot.load(path, verify=True)
         assert len(net.hosts) == 60
+
+    def test_metrics_merge_shard_registries_live(self, sharded_server):
+        """Regression: metrics must expose per-shard gauges and the
+        coordinator's live window-fold, not just coordinator-local perf."""
+        ok(sharded_server, op="ping")
+        metrics = ok(sharded_server, op="metrics")
+        gauges = metrics["perf"]["gauges"]
+        assert gauges["shard.count"] == 2
+        for k in (0, 1):
+            assert "shard.{}.hosts".format(k) in gauges
+            assert "shard.{}.owned_ases".format(k) in gauges
+        # Installs run lock-step on every replica, so each shard's full
+        # replica holds all hosts; AS ownership is what's partitioned.
+        assert gauges["shard.0.hosts"] == gauges["shard.1.hosts"] == 60
+        assert (gauges["shard.0.owned_ases"]
+                + gauges["shard.1.owned_ases"]) == 40
+        # Worker-side simulation timers reach the merged snapshot.
+        assert "inter.join" in metrics["perf"]["timers"]
+        # Coordinator-side request latency histograms ride along too.
+        assert metrics["latency"]["ping"]["count"] >= 1
+        live = metrics["live"]
+        assert live["windows_synced"] >= 1
+        assert live["counters"].get("shard.windows") == \
+            live["windows_synced"]
+        assert metrics["requests_served"] >= 1
+
+    def test_metrics_text_includes_shard_lines(self, sharded_server):
+        reply = ok(sharded_server, op="metrics_text")
+        assert reply["content_type"].startswith("text/plain")
+        text = reply["text"]
+        assert "repro_shard_count 2" in text
+        assert "repro_shard_0_hosts" in text
+        assert "repro_inter_join_calls_total" in text

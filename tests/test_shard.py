@@ -5,6 +5,7 @@ The load-bearing property: an N-shard run is *bit-identical* to the
 metrics, same protocol message counters, same snapshot ``state_hash``.
 """
 
+import json
 import pickle
 
 import pytest
@@ -256,3 +257,71 @@ class TestCoordinatorErrors:
     def test_rejects_bad_shard_count(self):
         with pytest.raises(ShardError):
             ShardCoordinator(RECIPE, n_shards=0)
+
+
+class TestTelemetry:
+    """Cross-shard trace/metrics collection (DESIGN.md §12)."""
+
+    T_HOSTS, T_SENDS = 80, 40
+
+    def _run(self, tmp_path, n_shards, sample=1.0, tag=""):
+        trace = tmp_path / "trace-{}{}.jsonl".format(n_shards, tag)
+        metrics = tmp_path / "metrics-{}{}.jsonl".format(n_shards, tag)
+        small = {**RECIPE, "n_ases": 30}
+        with ShardCoordinator(small, n_shards=n_shards, window_ops=32,
+                              trace_out=str(trace), trace_sample=sample,
+                              metrics_out=str(metrics)) as sim:
+            sim.join_hosts(self.T_HOSTS)
+            sim.run_sends(self.T_SENDS)
+            digest = sim.state_hash()
+            windows = sim.windows_synced
+            live = dict(sim.live_perf.counters)
+        return (trace.read_bytes(), metrics.read_bytes(), digest,
+                windows, live)
+
+    def test_two_shard_telemetry_matches_single_shard_bytes(self, tmp_path):
+        t1, m1, h1, w1, _ = self._run(tmp_path, 1)
+        t2, m2, h2, w2, _ = self._run(tmp_path, 2)
+        assert t1 and t1 == t2
+        assert m1 and m1 == m2
+        assert h1 == h2
+        assert w1 == w2 > 0
+
+    def test_sampling_is_shard_count_invariant_and_thins(self, tmp_path):
+        full, _, _, _, _ = self._run(tmp_path, 1)
+        s1, _, _, _, _ = self._run(tmp_path, 1, sample=0.25, tag="-s")
+        s2, _, _, _, _ = self._run(tmp_path, 2, sample=0.25, tag="-s")
+        assert s1 == s2
+        assert 0 < len(s1) < len(full)
+
+    def test_renumbered_trace_is_globally_consistent(self, tmp_path):
+        trace_bytes, metrics_bytes, _, windows, live = self._run(tmp_path, 2)
+        records = [json.loads(line)
+                   for line in trace_bytes.decode().splitlines()]
+        # Sequence numbers are contiguous from 1 under the coordinator's
+        # global numbering, regardless of which worker emitted them.
+        assert [r["seq"] for r in records] == list(
+            range(1, len(records) + 1))
+        # Parents are causal: every non-root parent seq appears earlier.
+        seen = set()
+        for r in records:
+            if r["parent"] != -1:
+                assert r["parent"] in seen
+            seen.add(r["seq"])
+        # Window-metrics rows mirror the synced windows and carry the
+        # op-kind breakdown.
+        rows = [json.loads(line)
+                for line in metrics_bytes.decode().splitlines()]
+        assert len(rows) == windows
+        assert {row["kind"] for row in rows} <= {"join", "send"}
+        assert sum(row["ops"] for row in rows) == self.T_HOSTS + self.T_SENDS
+        # The coordinator's live view folded per-window counter deltas.
+        assert live.get("shard.windows") == windows
+        assert any(k.startswith("inter.") or k.startswith("fwd.")
+                   for k in live)
+
+    def test_rejects_bad_trace_sample(self):
+        with pytest.raises(ShardError):
+            ShardCoordinator(RECIPE, n_shards=2, trace_sample=1.5)
+        with pytest.raises(ShardError):
+            ShardCoordinator(RECIPE, n_shards=2, trace_sample=-0.1)

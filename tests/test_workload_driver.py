@@ -146,3 +146,42 @@ def test_builtin_steady_churn_acceptance():
     assert a.totals["joins"] > 50
     assert a.summary["delivery_rate"] > 0.9
     assert any(r["kind"] == "link_cut" for r in a.fault_log)
+
+
+def test_metrics_stream_is_deterministic_across_replays(tmp_path):
+    import json
+
+    def run(tag):
+        path = tmp_path / "metrics-{}.jsonl".format(tag)
+        result = run_scenario(_small_scenario(seed=5),
+                              metrics_out=str(path), metrics_window=5.0)
+        return path.read_bytes(), result
+
+    first_bytes, first = run("a")
+    second_bytes, _ = run("b")
+    # Same seed -> byte-identical metrics JSONL (wall clock excluded).
+    assert first_bytes and first_bytes == second_bytes
+    assert first.totals["metrics_windows"] > 0
+    rows = [json.loads(line) for line in first_bytes.decode().splitlines()]
+    assert len(rows) == first.totals["metrics_windows"]
+    assert [row["window"] for row in rows] == list(range(len(rows)))
+    # Virtual-time stamps, scenario source, and the live-host gauge.
+    assert all(row["t"] <= 20.0 for row in rows)
+    assert all(row["source"] == "test-small" for row in rows)
+    assert all("live_hosts" in row for row in rows)
+    # Deterministic mode: timer rows carry call deltas only, never
+    # wall-clock seconds.
+    for row in rows:
+        for timer in row["timers"].values():
+            assert set(timer) == {"calls"}
+
+
+def test_metrics_window_defaults_to_sample_interval(tmp_path):
+    path = tmp_path / "metrics.jsonl"
+    result = run_scenario(_small_scenario(seed=1), metrics_out=str(path))
+    assert result.totals["metrics_windows"] == len(result.samples)
+
+
+def test_no_metrics_out_means_no_windows():
+    result = run_scenario(_small_scenario(seed=0))
+    assert result.totals["metrics_windows"] == 0
