@@ -19,10 +19,14 @@ Commands:
   session for tests and CI).
 * ``snapshot {save,info,verify} PATH`` — checkpoint/restore of complete
   network state with canonical state hashing (``repro.snapshot``).
+* ``compare-stretch [--profile ISP] [--hosts N] [--json PATH]`` — run
+  the ROFL-vs-Disco (vs CMU-ETHERNET / OSPF) stretch head-to-head with
+  the stretch-bound probe live; exits nonzero on any bound breach,
+  probe violation, or attribution mismatch (the CI gate).
 * ``report [--metrics m.jsonl] [--perf result.json] [--bench
-  BENCH_scaling.json] [--out report.html]`` — render telemetry
-  artifacts into one self-contained HTML or markdown document
-  (``repro.obs.report``).
+  BENCH_scaling.json] [--compare compare_stretch.json] [--out
+  report.html]`` — render telemetry artifacts into one self-contained
+  HTML or markdown document (``repro.obs.report``).
 * ``quickstart`` — a 30-second end-to-end tour of the intradomain system.
 * ``info`` — package, paper, and inventory summary.
 
@@ -79,6 +83,9 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         "fig8e": (lambda: E.fig8e_bloom_peering(n_hosts=300 * k,
                                                 n_packets=300 * k),
                   R.format_fig8e),
+        "headtohead": (lambda: E.headtohead_stretch(n_hosts=150 * k,
+                                                    n_packets=300 * k),
+                       R.format_headtohead),
     }
     selected = {name: entry for name, entry in plan.items()
                 if args.only is None or name.startswith(args.only)}
@@ -441,18 +448,71 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compare_stretch(args: argparse.Namespace) -> int:
+    """ROFL vs Disco (vs CMU/OSPF) head-to-head; nonzero exit on any
+    stretch-bound breach, probe violation, or attribution mismatch."""
+    from repro.harness.experiments import headtohead_stretch
+    from repro.harness.report import format_headtohead
+
+    result = headtohead_stretch(
+        profile=args.profile, n_hosts=args.hosts, n_packets=args.packets,
+        n_ases=args.ases, inter_hosts=args.inter_hosts,
+        inter_packets=args.inter_packets, seed=args.seed,
+        full_scale=args.full, landmark_factor=args.landmark_factor,
+        all_pairs_hosts=args.all_pairs_hosts)
+    print(format_headtohead(result))
+
+    if args.json is not None:
+        payload = json.dumps(result, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(payload + "\n")
+            print("wrote {}".format(args.json))
+
+    failures = []
+    for scope in ("intra", "inter"):
+        for label, row in result[scope].items():
+            where = "{}/{}".format(scope, label)
+            if row["bound_violations"]:
+                failures.append("{}: {} stretch-bound violation(s)".format(
+                    where, row["bound_violations"]))
+            if row["probe_violations"]:
+                failures.append("{}: {} probe violation(s)".format(
+                    where, len(row["probe_violations"])))
+            if row["attribution_mismatches"]:
+                failures.append("{}: {} attribution mismatch(es)".format(
+                    where, row["attribution_mismatches"]))
+    sweep = result["disco_all_pairs"]
+    if sweep["undelivered"]:
+        failures.append("all-pairs: {} undelivered".format(
+            sweep["undelivered"]))
+    if sweep["violations"]:
+        failures.append("all-pairs: {} probe violation(s)".format(
+            len(sweep["violations"])))
+    if failures:
+        for failure in failures:
+            print("compare-stretch: FAIL {}".format(failure),
+                  file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.obs.report import generate_report
 
-    if args.metrics is None and args.perf is None and args.bench is None:
-        print("report: nothing to render; pass --metrics, --perf, and/or "
-              "--bench", file=sys.stderr)
+    if (args.metrics is None and args.perf is None and args.bench is None
+            and args.compare is None):
+        print("report: nothing to render; pass --metrics, --perf, --bench, "
+              "and/or --compare", file=sys.stderr)
         return 2
     fmt = "html" if args.out.endswith(".html") else "markdown"
     try:
         document = generate_report(args.title, metrics_path=args.metrics,
                                    perf_path=args.perf,
-                                   bench_path=args.bench, fmt=fmt)
+                                   bench_path=args.bench,
+                                   compare_path=args.compare, fmt=fmt)
     except (OSError, json.JSONDecodeError) as exc:
         print("report: {}".format(exc), file=sys.stderr)
         return 2
@@ -472,7 +532,7 @@ def _cmd_info(_args: argparse.Namespace) -> int:
     print("Caesar, Condie, Kannan, Lakshminarayanan, Stoica, Shenker.")
     print()
     print("Subsystems: idspace, util, sim, topology, linkstate, intra,")
-    print("            inter, baselines, services, harness")
+    print("            inter, baselines, compact, services, harness")
     print("Docs: README.md (overview), DESIGN.md (inventory),")
     print("      EXPERIMENTS.md (paper-vs-measured)")
     return 0
@@ -604,6 +664,36 @@ def main(argv=None) -> int:
     snap.add_argument("--cache-entries", type=int, default=None)
     snap.set_defaults(func=_cmd_snapshot)
 
+    compare = sub.add_parser(
+        "compare-stretch",
+        help="ROFL vs compact-routing head-to-head with a stretch-bound "
+             "gate (nonzero exit on any violation)")
+    compare.add_argument("--profile", default="AS3967",
+                         help="Rocketfuel ISP profile (default AS3967)")
+    compare.add_argument("--hosts", type=int, default=200,
+                         help="intra: hosts joined per baseline (default 200)")
+    compare.add_argument("--packets", type=int, default=400,
+                         help="intra: packets per baseline (default 400)")
+    compare.add_argument("--ases", type=int, default=60,
+                         help="inter: AS count (default 60)")
+    compare.add_argument("--inter-hosts", type=int, default=150,
+                         help="inter: hosts joined (default 150)")
+    compare.add_argument("--inter-packets", type=int, default=200,
+                         help="inter: packets routed (default 200)")
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--full", action="store_true",
+                         help="full-scale topology instead of the sample")
+    compare.add_argument("--landmark-factor", type=float, default=1.0,
+                         metavar="F",
+                         help="landmarks = ceil(F * sqrt(routers))")
+    compare.add_argument("--all-pairs-hosts", type=int, default=40,
+                         metavar="N",
+                         help="exhaustive bound sweep over the first N "
+                              "hosts (default 40)")
+    compare.add_argument("--json", default=None, metavar="PATH",
+                         help="write the full result as JSON ('-' = stdout)")
+    compare.set_defaults(func=_cmd_compare_stretch)
+
     report = sub.add_parser(
         "report",
         help="render telemetry artifacts into one HTML/markdown report")
@@ -614,6 +704,9 @@ def main(argv=None) -> int:
                              "(timer tree source)")
     report.add_argument("--bench", default=None, metavar="PATH",
                         help="BENCH_scaling.json scaling trajectory")
+    report.add_argument("--compare", default=None, metavar="PATH",
+                        help="compare_stretch.json head-to-head result "
+                             "(from 'compare-stretch --json')")
     report.add_argument("--title", default="repro telemetry report")
     report.add_argument("--out", default="-", metavar="PATH",
                         help="output file; '.html' renders HTML, anything "

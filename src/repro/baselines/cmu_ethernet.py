@@ -13,11 +13,15 @@ The paper uses it "only as a baseline comparison point" and reports
 CMU-ETHERNET needing 37–181× more join messages and 34–1200× more
 memory than ROFL on the same four ISPs; the Fig 5a/6c benches reproduce
 those ratios with this implementation.
+
+Implements :class:`repro.baselines.FlatLabelBaseline`: delivery is
+always over the shortest path (every router knows every host), so the
+provable stretch bound is exactly 1.0.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.idspace.identifier import FlatId, RingSpace
 from repro.linkstate.lsdb import LinkStateMap
@@ -25,33 +29,47 @@ from repro.linkstate.protocol import flood_message_cost
 from repro.linkstate.spf import PathCache
 from repro.sim.stats import PathResult, StatsCollector
 from repro.topology.graph import RouterTopology
-from repro.topology.hosts import HostPlan, PlannedHost
+from repro.topology.hosts import HostPlan, HostTable, PlannedHost
+from repro.util.rng import RngRegistry
 
 
 class CmuEthernetNetwork:
     """Flood-based flat routing over one ISP topology."""
 
+    #: Every router holds every host's route, so data paths are always
+    #: shortest — the guarantee is stretch 1.
+    stretch_bound = 1.0
+
     def __init__(self, topology: RouterTopology, seed: int = 0):
         self.topology = topology
+        self.seed = seed
         self.lsmap = LinkStateMap(topology)
         self.paths = PathCache(self.lsmap)
         self.space = RingSpace()
         self.stats = StatsCollector()
+        self.rngs = RngRegistry(seed)
+        self._rng = self.rngs.derive("cmu", "traffic")
         #: host ID → attachment router, replicated at every router (we
         #: store it once and account for the replication in memory math).
         self.host_location: Dict[FlatId, str] = {}
-        self.hosts: Dict[str, FlatId] = {}
+        self.hosts: HostTable = HostTable()          # name → FlatId
         self._plan = HostPlan(
             attachment_points=topology.edge_routers() or topology.routers,
-            seed=seed)
+            seed=seed, registry=self.rngs)
 
     # -- joining ---------------------------------------------------------------
 
     def join_host(self, host: PlannedHost) -> int:
-        """Join one host: flood its attachment; returns the message cost."""
+        """Join one host: flood its attachment over every live link.
+
+        Returns the network-level messages charged to this join's
+        operation scope (the :class:`repro.baselines.FlatLabelBaseline`
+        contract) — here exactly the flood's per-link message count;
+        "cost" and "messages" are the same unit by definition.
+        """
         with self.stats.operation("join", host=host.name) as op:
-            cost = flood_message_cost(self.lsmap, host.attach_at)
-            self.stats.charge_hops(cost, "join")
+            self.stats.charge_hops(
+                flood_message_cost(self.lsmap, host.attach_at), "join")
         self.host_location[host.flat_id] = host.attach_at
         self.hosts[host.name] = host.flat_id
         return op["messages"]
@@ -72,6 +90,12 @@ class CmuEthernetNetwork:
         hops = len(path) - 1
         return PathResult(delivered=True, path=path, hops=hops,
                           optimal_hops=hops)
+
+    def random_host_pair(self) -> Tuple[str, str]:
+        if len(self.hosts.names) < 2:
+            raise ValueError("need at least two hosts")
+        pair = self._rng.sample(self.hosts.names, 2)
+        return pair[0], pair[1]
 
     # -- accounting -------------------------------------------------------------------
 

@@ -1,0 +1,147 @@
+"""Name-independent resolution: flat label → locator, Disco style.
+
+Compact routing gives bounded-stretch paths between *routers*, but a
+flat label says nothing about which router a host sits behind.  Disco
+closes the gap with a landmark-hosted directory: each flat ID hashes to
+one landmark (its **resolver**), which stores the host's *locator* —
+the attachment router plus that router's home landmark.  A sender does
+one control-plane lookup (source → resolver → source, charged as
+``lookup`` messages), caches the locator, and then routes the data
+packet with the bounded-stretch router machinery.  Data-path stretch
+stays ≤ 3 because the detour, if any, goes through the *target's own*
+nearest landmark — the resolver's location never appears on the data
+path.
+
+The per-router :class:`LocatorCache` plays the same role as ROFL's
+bounded pointer cache: a small, evictable pool of remembered locators
+that turns repeat traffic into zero-lookup sends, with hit/miss
+counters for the head-to-head comparison.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.idspace.identifier import FlatId
+
+
+@dataclass(frozen=True)
+class Locator:
+    """Where a flat label currently lives.
+
+    ``attach_router`` is the host's attachment point; ``home_landmark``
+    is that router's nearest landmark, shipped with the locator so a
+    sender outside the target's vicinity can address the landmark leg
+    without any extra lookup.
+    """
+
+    host_id: FlatId
+    attach_router: str
+    home_landmark: str
+
+
+def resolver_of(host_id: FlatId, landmarks: List[str]) -> str:
+    """The landmark that stores ``host_id``'s locator.
+
+    Plain modular hashing over the *sorted* landmark list: every router
+    knows the election outcome, so every router maps an ID to the same
+    resolver with no communication.
+    """
+    if not landmarks:
+        raise ValueError("no landmarks elected")
+    return landmarks[host_id.value % len(landmarks)]
+
+
+class ResolverDirectory:
+    """The union of all landmarks' locator stores.
+
+    Keyed by flat ID; :meth:`register`/:meth:`withdraw` are what a join/
+    leave writes at the resolver, :meth:`lookup` is what a resolution
+    query reads.  One dict stands in for the per-landmark shards — the
+    resolver assignment (:func:`resolver_of`) decides which landmark is
+    *charged* for each access.
+    """
+
+    def __init__(self, landmarks: List[str]):
+        self.landmarks = list(landmarks)
+        self._records: Dict[FlatId, Locator] = {}
+
+    def resolver_of(self, host_id: FlatId) -> str:
+        return resolver_of(host_id, self.landmarks)
+
+    def register(self, locator: Locator) -> str:
+        """Store ``locator``; returns the resolver landmark charged."""
+        self._records[locator.host_id] = locator
+        return self.resolver_of(locator.host_id)
+
+    def withdraw(self, host_id: FlatId) -> Optional[str]:
+        """Drop the record; returns the resolver, or ``None`` if absent."""
+        if self._records.pop(host_id, None) is None:
+            return None
+        return self.resolver_of(host_id)
+
+    def lookup(self, host_id: FlatId) -> Optional[Locator]:
+        return self._records.get(host_id)
+
+    def entries_per_landmark(self) -> Dict[str, int]:
+        """How many locator records each landmark shard holds."""
+        counts = {landmark: 0 for landmark in self.landmarks}
+        for host_id in self._records:
+            counts[self.resolver_of(host_id)] += 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class LocatorCache:
+    """Bounded LRU of resolved locators at one router.
+
+    The analogue of ROFL's per-router pointer cache: capacity is the
+    experiment knob, hits skip the resolver round-trip entirely, and a
+    stale entry (host moved or left) is detected on use and re-queried —
+    the same validate-on-use discipline ROFL applies to cached source
+    routes.
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 0:
+            raise ValueError("negative cache capacity")
+        self.capacity = capacity
+        self._entries: "OrderedDict[FlatId, Locator]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def get(self, host_id: FlatId) -> Optional[Locator]:
+        entry = self._entries.get(host_id)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(host_id)
+        self.hits += 1
+        return entry
+
+    def put(self, locator: Locator) -> None:
+        if self.capacity == 0:
+            return
+        self._entries[locator.host_id] = locator
+        self._entries.move_to_end(locator.host_id)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, host_id: FlatId) -> bool:
+        if self._entries.pop(host_id, None) is not None:
+            self.invalidations += 1
+            return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, host_id: FlatId) -> bool:
+        return host_id in self._entries

@@ -13,6 +13,13 @@ def _rule(title: str) -> str:
     return "\n{}\n{}\n".format(title, "-" * len(title))
 
 
+def _num(value, spec: str = "{:.2f}", width: int = 0) -> str:
+    """Format a possibly-absent statistic; empty series arrive as None
+    (see ``repro.harness.experiments._mean``) and render as ``n/a``."""
+    text = "n/a" if value is None else spec.format(value)
+    return text.rjust(width) if width else text
+
+
 def format_fig5a(result: Dict) -> str:
     lines = [_rule("Fig 5a — intradomain cumulative join overhead")]
     lines.append("{:<10} {:>8} {:>14} {:>14} {:>10}".format(
@@ -60,7 +67,7 @@ def format_fig6a(result: Dict) -> str:
         result["profile"]))]
     lines.append("{:>14} {:>12}".format("cache entries", "avg stretch"))
     for cache, stretch in result["series"]:
-        lines.append("{:>14} {:>12.2f}".format(cache, stretch))
+        lines.append("{:>14} {}".format(cache, _num(stretch, width=12)))
     lines.append("paper: stretch drops to ~1.2-2 at ~70k entries (9 Mbit TCAM)")
     return "\n".join(lines)
 
@@ -148,9 +155,10 @@ def format_fig8b(result: Dict) -> str:
     lines = [_rule("Fig 8b — interdomain stretch vs finger count")]
     lines.append("{:<14} {:>12}".format("fingers", "mean stretch"))
     for fingers, data in sorted(result["fingers"].items()):
-        lines.append("{:<14} {:>12.2f}".format(fingers, data["mean"]))
-    lines.append("{:<14} {:>12.2f}".format("BGP-policy",
-                                           result["bgp_policy"]["mean"]))
+        lines.append("{:<14} {}".format(fingers, _num(data["mean"], width=12)))
+    lines.append("{:<14} {}".format("BGP-policy",
+                                    _num(result["bgp_policy"]["mean"],
+                                         width=12)))
     lines.append("paper: stretch 2.8 @60 fingers falling to 2.3 @160;"
                  " more fingers => less stretch")
     return "\n".join(lines)
@@ -161,9 +169,9 @@ def format_fig8c(result: Dict) -> str:
     lines.append("{:>14} {:>16} {:>12}".format(
         "cache entries", "Mbit per AS", "mean stretch"))
     for row in result["series"]:
-        lines.append("{:>14} {:>16.2f} {:>12.2f}".format(
+        lines.append("{:>14} {:>16.2f} {}".format(
             row["cache_entries"], row["cache_mbits_per_as"],
-            row["mean_stretch"]))
+            _num(row["mean_stretch"], width=12)))
     lines.append("paper: caching reduces stretch (2 -> 1.33 at 20M entries/AS)")
     return "\n".join(lines)
 
@@ -198,4 +206,49 @@ def format_fig8e(result: Dict) -> str:
     lines.append("paper: bloom filters cut peering-join overhead to the"
                  " multihomed level at the cost of per-AS filter state and"
                  " slightly higher stretch (3.29 vs 2.8)")
+    return "\n".join(lines)
+
+
+def format_headtohead(result: Dict) -> str:
+    lines = [_rule("Head-to-head — ROFL vs compact routing on flat labels"
+                   " ({})".format(result["profile"]))]
+    lines.append("{:<8} {:>6} {:>6} {:>8} {:>8} {:>8} {:>7} {:>6} {:>9}"
+                 .format("proto", "sent", "deliv", "mean", "p99", "worst",
+                         "bound", "viol", "mismatch"))
+
+    def _proto_line(label, row):
+        return "{:<8} {:>6} {:>6} {} {} {} {:>7} {:>6} {:>9}".format(
+            label, row["sent"], row["delivered"],
+            _num(row["mean"], width=8), _num(row["p99"], width=8),
+            _num(row["worst"], width=8),
+            _num(row["stretch_bound"], "{:.1f}") if
+            row["stretch_bound"] is not None else "inf",
+            row["bound_violations"] + len(row["probe_violations"]),
+            row["attribution_mismatches"])
+
+    for label in ("rofl", "disco", "cmu", "ospf"):
+        lines.append(_proto_line(label, result["intra"][label]))
+    for label in ("rofl", "disco"):
+        row = result["intra"][label]
+        if row["tail_attribution"]:
+            parts = ", ".join("{} +{:.2f}".format(rule, share)
+                              for rule, share in
+                              sorted(row["tail_attribution"].items(),
+                                     key=lambda kv: -kv[1]))
+            lines.append("  {} stretch tail (>=p99) by decision: {}".format(
+                label, parts))
+    sweep = result["disco_all_pairs"]
+    lines.append("disco all-pairs sweep: {} pairs, max stretch {} "
+                 "(bound {:.1f}), {} undelivered, {} violations".format(
+                     sweep["pairs"], _num(sweep["max_stretch"], "{:.3f}"),
+                     sweep["bound"], sweep["undelivered"],
+                     len(sweep["violations"])))
+    lines.append("interdomain ({} vs {}):".format(
+        result["inter"]["rofl"]["denominator"],
+        result["inter"]["disco"]["denominator"]))
+    for label in ("rofl", "disco"):
+        lines.append(_proto_line(label, result["inter"][label]))
+    lines.append("Singla et al.: compact routing bounds worst-case stretch"
+                 " at 3; ROFL's tail is unbounded but its common case"
+                 " rides the ring shortcuts")
     return "\n".join(lines)

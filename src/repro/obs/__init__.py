@@ -10,7 +10,7 @@ from repro.obs.metrics import (MetricsExporter, read_metrics_jsonl,
                                render_prometheus)
 from repro.obs.probes import (CacheIsolationProbe, InterRingConsistencyProbe,
                               Probe, ProbeSet, RingConsistencyProbe,
-                              SpfAgreementProbe, Violation)
+                              SpfAgreementProbe, StretchBoundProbe, Violation)
 from repro.obs.report import (build_timer_tree, generate_report,
                               render_html, render_markdown,
                               render_timer_tree, summarize_metrics)
@@ -22,7 +22,8 @@ __all__ = [
     "CacheIsolationProbe", "InterRingConsistencyProbe", "JsonlSink",
     "MetricsExporter", "NullSink", "PacketExplanation", "Probe", "ProbeSet",
     "RingBufferSink", "RingConsistencyProbe", "Segment", "Span",
-    "SpfAgreementProbe", "TraceRecord", "Tracer", "Violation",
+    "SpfAgreementProbe", "StretchBoundProbe", "TraceRecord", "Tracer",
+    "Violation",
     "build_timer_tree", "explain_packets", "explain_span", "generate_report",
     "get_tracer", "install", "last_packet", "packet_spans",
     "read_jsonl", "read_metrics_jsonl", "render_html", "render_markdown",

@@ -20,7 +20,8 @@ from typing import Dict, List, Optional, Sequence
 from repro.obs.trace import TraceRecord
 
 #: Span-root kinds produced by the forwarding engines.
-PACKET_KINDS = ("intra.packet", "inter.packet", "inter.bloom-packet")
+PACKET_KINDS = ("intra.packet", "inter.packet", "inter.bloom-packet",
+                "compact.packet")
 
 
 @dataclass

@@ -158,6 +158,92 @@ class SpfAgreementProbe(Probe):
                 report(src=src, dst=dst, cached=cached, fresh=fresh)
 
 
+class StretchBoundProbe(Probe):
+    """Compact routing: observed stretch must respect the provable bound.
+
+    Event-driven: every ``end`` record carrying both ``optimal`` and
+    ``bound`` (the compact forwarding engine stamps each delivered
+    packet with its hop count, the shortest-path distance, and the
+    protocol's ``stretch_bound``) is asserted to satisfy
+    ``hops ≤ bound · optimal`` — a breach means the Thorup–Zwick
+    argument was violated in practice, the headline invariant of the
+    Disco baseline.
+
+    Periodic (when constructed with the network): deterministic bounded
+    samples of the three structures the proof rests on —
+
+    * *radius agreement*: the precomputed nearest-landmark distance must
+      match a fresh SPF query;
+    * *ball closure*: the shortest path to a ball member must stay
+      inside the ball (the advertisement-cost and shortcut arguments);
+    * *locator residency*: every sampled registered ID's directory
+      record must point at the router that actually hosts it.
+    """
+
+    name = "stretch-bound"
+
+    #: Routers / locators sampled per tick; deterministic, no RNG draw.
+    MAX_SAMPLES = 8
+
+    #: Slack for float comparison of ``hops ≤ bound · optimal``.
+    EPSILON = 1e-9
+
+    def __init__(self, net=None):
+        self.net = net
+
+    def on_record(self, record: TraceRecord, report) -> None:
+        if record.kind != "end":
+            return
+        data = record.data
+        if "optimal" not in data or "bound" not in data:
+            return
+        if not data.get("delivered"):
+            return
+        optimal = data["optimal"]
+        hops = data.get("hops", 0)
+        if optimal and optimal > 0:
+            if hops > data["bound"] * optimal + self.EPSILON:
+                report(kind="stretch-bound-exceeded", span=record.span,
+                       hops=hops, optimal=optimal, bound=data["bound"],
+                       stretch=hops / optimal)
+
+    def _sample(self, items):
+        ordered = sorted(items)
+        step = max(1, len(ordered) // self.MAX_SAMPLES)
+        return ordered[::step][:self.MAX_SAMPLES]
+
+    def check(self, report) -> None:
+        net = self.net
+        if net is None:
+            return
+        plan = net.plan
+        for router in self._sample(net.topology.routers):
+            fresh = min((d for d in (net.paths.hop_dist(router, lm)
+                                     for lm in plan.landmarks)
+                         if d is not None), default=None)
+            if fresh != plan.radius.get(router):
+                report(kind="radius-disagreement", router=router,
+                       cached=plan.radius.get(router), fresh=fresh)
+                continue
+            ball = plan.ball[router]
+            for member in self._sample(ball)[:2]:
+                path = net.paths.hop_path(router, member)
+                if path is None:
+                    report(kind="ball-member-unreachable", router=router,
+                           member=member)
+                elif any(node not in ball for node in path[1:-1]):
+                    report(kind="ball-not-closed", router=router,
+                           member=member, path=list(path))
+        for host_id in self._sample(net.host_location):
+            locator = net.directory.lookup(host_id)
+            if locator is None:
+                report(kind="locator-missing", dest=host_id.to_hex())
+            elif locator.attach_router != net.host_location[host_id]:
+                report(kind="locator-stale", dest=host_id.to_hex(),
+                       registered=locator.attach_router,
+                       actual=net.host_location[host_id])
+
+
 class ProbeSet:
     """A bundle of probes sharing one violation log.
 
@@ -178,6 +264,7 @@ class ProbeSet:
     @classmethod
     def for_network(cls, net, tracer: Optional[Tracer] = None) -> "ProbeSet":
         """The standard probe bundle for an intra or inter network."""
+        from repro.compact.network import DiscoNetwork
         from repro.inter.network import InterDomainNetwork
         from repro.intra.network import IntraDomainNetwork
         probes: List[Probe] = []
@@ -186,6 +273,8 @@ class ProbeSet:
         elif isinstance(net, InterDomainNetwork):
             probes = [InterRingConsistencyProbe(net),
                       CacheIsolationProbe(net)]
+        elif isinstance(net, DiscoNetwork):
+            probes = [StretchBoundProbe(net)]
         return cls(probes, tracer=tracer)
 
     # -- plumbing ------------------------------------------------------------

@@ -177,6 +177,67 @@ def extract_perf_snapshot(payload: Dict[str, Any]
 
 
 # ---------------------------------------------------------------------------
+# Head-to-head stretch comparison (compare_stretch.json).
+# ---------------------------------------------------------------------------
+
+def _cmp(value, spec: str = "{:.2f}") -> str:
+    return "n/a" if value is None else spec.format(value)
+
+
+def _compare_tables(result: Dict[str, Any]) -> Dict[str, List[List[str]]]:
+    """Tables for a ``headtohead_stretch`` result (the JSON written by
+    ``python -m repro compare-stretch --json``)."""
+    header = ["proto", "sent", "delivered", "mean", "p99", "worst",
+              "bound", "violations", "mismatches"]
+
+    def row_of(label: str, row: Dict[str, Any]) -> List[str]:
+        bound = row.get("stretch_bound")
+        return [label, str(row["sent"]), str(row["delivered"]),
+                _cmp(row["mean"]), _cmp(row["p99"]), _cmp(row["worst"]),
+                "inf" if bound is None else "{:g}".format(bound),
+                str(row["bound_violations"] + len(row["probe_violations"])),
+                str(row["attribution_mismatches"])]
+
+    out: Dict[str, List[List[str]]] = {}
+    intra = result.get("intra") or {}
+    if intra:
+        out["intradomain ({})".format(result.get("profile", "?"))] = (
+            [header] + [row_of(label, intra[label])
+                        for label in ("rofl", "disco", "cmu", "ospf")
+                        if label in intra])
+    inter = result.get("inter") or {}
+    if inter:
+        out["interdomain"] = (
+            [header + ["denominator"]]
+            + [row_of(label, inter[label])
+               + [str(inter[label].get("denominator", ""))]
+               for label in ("rofl", "disco") if label in inter])
+    return out
+
+
+def _compare_notes(result: Dict[str, Any]) -> List[str]:
+    notes = []
+    sweep = result.get("disco_all_pairs")
+    if sweep:
+        notes.append(
+            "Disco all-pairs sweep: {} pairs, max stretch {} (bound {:g}), "
+            "{} undelivered, {} probe violation(s).".format(
+                sweep["pairs"], _cmp(sweep["max_stretch"], "{:.3f}"),
+                sweep["bound"], sweep["undelivered"],
+                len(sweep["violations"])))
+    for label in ("rofl", "disco"):
+        row = (result.get("intra") or {}).get(label)
+        if row and row.get("tail_attribution"):
+            parts = ", ".join(
+                "{} +{:.2f}".format(rule, share) for rule, share in
+                sorted(row["tail_attribution"].items(),
+                       key=lambda kv: -kv[1]))
+            notes.append("{} stretch tail (≥p99) by decision: {}.".format(
+                label, parts))
+    return notes
+
+
+# ---------------------------------------------------------------------------
 # Markdown rendering.
 # ---------------------------------------------------------------------------
 
@@ -191,8 +252,19 @@ def _md_table(table: List[List[str]]) -> List[str]:
 def render_markdown(title: str,
                     metrics_rows: Optional[List[Dict[str, Any]]] = None,
                     perf_snapshot: Optional[Dict[str, Any]] = None,
-                    bench: Optional[Dict[str, Any]] = None) -> str:
+                    bench: Optional[Dict[str, Any]] = None,
+                    compare: Optional[Dict[str, Any]] = None) -> str:
     lines = ["# {}".format(title), ""]
+    if compare:
+        lines += ["## Stretch head-to-head", ""]
+        for section, table in _compare_tables(compare).items():
+            lines += ["### {}".format(section), ""]
+            lines += _md_table(table)
+            lines.append("")
+        notes = _compare_notes(compare)
+        lines += ["- {}".format(note) for note in notes]
+        if notes:
+            lines.append("")
     if metrics_rows:
         info = summarize_metrics(metrics_rows)
         lines += ["## Metrics stream", "",
@@ -262,11 +334,22 @@ def _html_table(table: List[List[str]]) -> str:
 def render_html(title: str,
                 metrics_rows: Optional[List[Dict[str, Any]]] = None,
                 perf_snapshot: Optional[Dict[str, Any]] = None,
-                bench: Optional[Dict[str, Any]] = None) -> str:
+                bench: Optional[Dict[str, Any]] = None,
+                compare: Optional[Dict[str, Any]] = None) -> str:
     parts = ["<!DOCTYPE html><html><head><meta charset=\"utf-8\">",
              "<title>{}</title>".format(_html.escape(title)),
              "<style>{}</style></head><body>".format(_CSS),
              "<h1>{}</h1>".format(_html.escape(title))]
+    if compare:
+        parts.append("<h2>Stretch head-to-head</h2>")
+        for section, table in _compare_tables(compare).items():
+            parts.append("<h3>{}</h3>{}".format(_html.escape(section),
+                                                _html_table(table)))
+        notes = _compare_notes(compare)
+        if notes:
+            parts.append("<ul>{}</ul>".format("".join(
+                "<li>{}</li>".format(_html.escape(note))
+                for note in notes)))
     if metrics_rows:
         info = summarize_metrics(metrics_rows)
         parts.append("<h2>Metrics stream</h2>")
@@ -304,6 +387,7 @@ def generate_report(title: str,
                     metrics_path: Optional[str] = None,
                     perf_path: Optional[str] = None,
                     bench_path: Optional[str] = None,
+                    compare_path: Optional[str] = None,
                     fmt: str = "markdown") -> str:
     """Load the named artifacts and render one report document."""
     from repro.obs.metrics import read_metrics_jsonl
@@ -318,6 +402,10 @@ def generate_report(title: str,
             bench = json.load(fh)
         if perf_snapshot is None:
             perf_snapshot = _bench_perf(bench)
+    compare = None
+    if compare_path:
+        with open(compare_path) as fh:
+            compare = json.load(fh)
     render = render_html if fmt == "html" else render_markdown
     return render(title, metrics_rows=metrics_rows,
-                  perf_snapshot=perf_snapshot, bench=bench)
+                  perf_snapshot=perf_snapshot, bench=bench, compare=compare)

@@ -324,3 +324,25 @@ def _attach_providers(asg: ASGraph, rng, asn, candidates, weights,
             second = rng.choices(candidates, weights=weights, k=1)[0]
         asg.add_customer_provider(asn, second,
                                   backup=rng.random() < backup_prob)
+
+
+def as_router_topology(asg: ASGraph, name: str = "as-graph"):
+    """Flatten an AS graph into a :class:`RouterTopology` of one router
+    per AS, so router-level protocols (the compact-routing baseline, the
+    OSPF load series) can run over the interdomain topology and report
+    AS-hop metrics directly comparable to ROFL's interdomain stretch
+    denominators.
+
+    Every AS becomes an edge-role router named ``str(asn)``; links keep
+    their AS-level latencies (relationship annotations carry no meaning
+    for shortest-path protocols and are dropped).
+    """
+    from repro.topology.graph import RouterTopology
+
+    topo = RouterTopology(name)
+    for asn in sorted(asg.ases(), key=repr):
+        topo.add_router(str(asn), role="edge")
+    for a, b, _rel in asg.links():
+        topo.add_link(str(a), str(b), latency_ms=asg.link_latency(a, b))
+    topo.validate()
+    return topo

@@ -1,16 +1,70 @@
-"""CMU-ETHERNET and OSPF baselines."""
+"""The flat-label baselines behind one contract: CMU-ETHERNET, OSPF,
+and the Disco-style compact-routing network all satisfy
+:class:`repro.baselines.FlatLabelBaseline`, so the head-to-head harness
+can drive them interchangeably."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.baselines import FlatLabelBaseline
 from repro.baselines.cmu_ethernet import CmuEthernetNetwork
 from repro.baselines.ospf_routing import OspfHostRouting
+from repro.compact import DiscoNetwork
 from repro.intra.network import IntraDomainNetwork
 from repro.topology.isp import synthetic_isp
+
+BASELINES = [CmuEthernetNetwork, OspfHostRouting, DiscoNetwork]
 
 
 @pytest.fixture()
 def topo():
     return synthetic_isp(n_routers=50, seed=2)
+
+
+@pytest.mark.parametrize("cls", BASELINES)
+class TestFlatLabelContract:
+    """Every baseline satisfies the shared protocol the harness drives."""
+
+    def test_satisfies_protocol(self, topo, cls):
+        net = cls(topo, seed=0)
+        assert isinstance(net, FlatLabelBaseline)
+
+    def test_join_host_returns_messages(self, topo, cls):
+        """``join_host`` returns the operation's message count — the
+        same unit ``stats.operation_costs("join")`` records."""
+        net = cls(topo, seed=0)
+        costs = net.join_random_hosts(5)
+        assert len(costs) == 5
+        assert all(isinstance(c, int) and c >= 0 for c in costs)
+        assert costs == net.stats.operation_costs("join")
+
+    def test_delivers_within_stretch_bound(self, topo, cls):
+        net = cls(topo, seed=0)
+        net.join_random_hosts(20)
+        for _ in range(30):
+            a, b = net.random_host_pair()
+            result = net.send(a, b)
+            assert result.delivered
+            if result.optimal_hops > 0:
+                assert result.stretch <= net.stretch_bound + 1e-9
+
+    def test_memory_entries_cover_every_router(self, topo, cls):
+        net = cls(topo, seed=0)
+        net.join_random_hosts(10)
+        mem = net.memory_entries_per_router()
+        assert set(mem) == set(topo.routers)
+        assert all(v >= 0 for v in mem.values())
+        assert net.n_hosts == 10
+
+    def test_same_seed_same_host_population(self, topo, cls):
+        """Identical seeds replay the identical HostPlan tape — the
+        property the head-to-head relies on for workload parity."""
+        rofl = IntraDomainNetwork(topo, seed=0)
+        net = cls(topo, seed=0)
+        rofl.join_random_hosts(15)
+        net.join_random_hosts(15)
+        assert list(net.hosts) == list(rofl.hosts)
 
 
 class TestCmuEthernet:
@@ -60,8 +114,23 @@ class TestOspf:
     def test_shortest_path_delivery(self, topo):
         ospf = OspfHostRouting(topo)
         a, b = topo.routers[0], topo.routers[-1]
+        result = ospf.send_routers(a, b)
+        assert result.delivered and result.stretch == 1.0
+
+    def test_host_level_send_is_shortest_path(self, topo):
+        ospf = OspfHostRouting(topo, seed=0)
+        ospf.join_random_hosts(10)
+        a, b = ospf.random_host_pair()
         result = ospf.send(a, b)
         assert result.delivered and result.stretch == 1.0
+
+    def test_join_is_free(self, topo):
+        """OSPF's location-dependent addressing has no join protocol;
+        the cost is recorded as an explicit zero so join CDFs include
+        the baseline."""
+        ospf = OspfHostRouting(topo, seed=0)
+        assert ospf.join_random_hosts(5) == [0] * 5
+        assert ospf.stats.total_messages("join") == 0
 
     def test_load_series_accumulates(self, topo):
         ospf = OspfHostRouting(topo)
@@ -75,5 +144,25 @@ class TestOspf:
         ospf = OspfHostRouting(topo, lsmap=lsmap)
         victim = topo.routers[5]
         lsmap.fail_router(victim)
-        result = ospf.send(topo.routers[0], victim)
+        result = ospf.send_routers(topo.routers[0], victim)
         assert not result.delivered
+
+
+@given(n_routers=st.integers(8, 28), seed=st.integers(0, 2**20))
+@settings(max_examples=15, deadline=None)
+def test_disco_stretch_never_exceeds_bound(n_routers, seed):
+    """Property: on arbitrary small topologies the Thorup–Zwick argument
+    holds in practice — every delivered packet's stretch ≤ 3."""
+    topo = synthetic_isp(n_routers=n_routers, seed=seed)
+    net = DiscoNetwork(topo, seed=seed)
+    net.join_random_hosts(min(2 * n_routers, 24))
+    names = net.hosts.names[:10]
+    for a in names:
+        for b in names:
+            if a == b:
+                continue
+            result = net.send(a, b)
+            assert result.delivered, (a, b)
+            if result.optimal_hops > 0:
+                assert result.stretch <= net.stretch_bound + 1e-9, (
+                    a, b, result.stretch)

@@ -49,8 +49,38 @@ def test_help_lists_every_subcommand(capsys):
     assert exc.value.code == 0
     out = capsys.readouterr().out
     for command in ("figures", "workload", "quickstart", "info",
-                    "serve", "snapshot"):
+                    "serve", "snapshot", "compare-stretch", "report"):
         assert command in out
+
+
+def test_compare_stretch_gate(tmp_path, capsys):
+    out_path = tmp_path / "compare_stretch.json"
+    assert main(["compare-stretch", "--hosts", "30", "--packets", "40",
+                 "--ases", "20", "--inter-hosts", "30",
+                 "--inter-packets", "30", "--all-pairs-hosts", "10",
+                 "--json", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Head-to-head" in out and "disco all-pairs sweep" in out
+    data = json.loads(out_path.read_text())
+    assert data["intra"]["disco"]["bound_violations"] == 0
+    assert data["disco_all_pairs"]["violations"] == []
+
+
+def test_report_compare_section(tmp_path, capsys):
+    compare_path = tmp_path / "cmp.json"
+    compare_path.write_text(json.dumps({
+        "profile": "T", "intra": {"disco": {
+            "sent": 1, "delivered": 1, "mean": 1.0, "p99": 1.0,
+            "worst": 1.0, "stretch_bound": 3.0, "bound_violations": 0,
+            "probe_violations": [], "attribution_mismatches": 0,
+            "tail_attribution": {}}},
+        "disco_all_pairs": {"pairs": 2, "max_stretch": 1.0, "bound": 3.0,
+                            "undelivered": 0, "violations": []}}))
+    assert main(["report", "--compare", str(compare_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Stretch head-to-head" in out
+    assert "| disco | 1 | 1 |" in out
+    assert "all-pairs sweep: 2 pairs" in out
 
 
 def test_workload_list(capsys):
